@@ -1,0 +1,300 @@
+package rlts
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func trainQuickPolicy(t *testing.T, opts Options) *Policy {
+	t.Helper()
+	cfg := DefaultTrainConfig()
+	cfg.Episodes = 6
+	train := Generate(Geolife(), 1, 10, 80)
+	p, stats, err := Train(train, opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EpisodesRun == 0 {
+		t.Fatal("no episodes run")
+	}
+	return p
+}
+
+func TestAllSimplifiersSatisfyContract(t *testing.T) {
+	tr := Generate(Truck(), 3, 1, 150)[0]
+	const w = 20
+	simplifiers := []Simplifier{
+		STTrace(SED), SQUISH(SED), SQUISHE(SED),
+		TopDown(PED), BottomUp(SAD), SpanSearch(), Uniform(),
+	}
+	for _, s := range simplifiers {
+		t.Run(s.Name(), func(t *testing.T) {
+			out, err := s.Simplify(tr, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) > w {
+				t.Errorf("kept %d > %d", len(out), w)
+			}
+			if !out.IsSimplificationOf(tr) {
+				t.Error("contract violated: not a simplification")
+			}
+		})
+	}
+}
+
+func TestBellmanSimplifier(t *testing.T) {
+	tr := Generate(Geolife(), 5, 1, 60)[0]
+	out, err := Bellman(SED).Simplify(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optErr, err := Error(SED, tr, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactness: no baseline may beat Bellman.
+	for _, s := range []Simplifier{BottomUp(SED), TopDown(SED)} {
+		o, err := s.Simplify(tr, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Error(SED, tr, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if optErr > e+1e-9 {
+			t.Errorf("Bellman %v beaten by %s %v", optErr, s.Name(), e)
+		}
+	}
+}
+
+func TestTrainSimplifySaveLoad(t *testing.T) {
+	opts := NewOptions(SED, Plus)
+	p := trainQuickPolicy(t, opts)
+	if p.Name() != "RLTS+" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	tr := Generate(Geolife(), 9, 1, 120)[0]
+	out, err := p.Simplifier().Simplify(tr, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) > 15 || !out.IsSimplificationOf(tr) {
+		t.Error("policy simplifier contract violated")
+	}
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadPolicy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.GreedySimplifier().Simplify(tr, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q.GreedySimplifier().Simplify(tr, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("loaded policy behaves differently")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	p := trainQuickPolicy(t, NewOptions(PED, Online))
+	path := filepath.Join(t.TempDir(), "policy.json")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadPolicyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Options() != p.Options() {
+		t.Error("options lost in file round trip")
+	}
+	if _, err := LoadPolicyFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestStreamAPI(t *testing.T) {
+	opts := NewOptions(SED, Online)
+	opts.J = 2
+	p := trainQuickPolicy(t, opts)
+	st, err := p.NewStream(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Generate(Geolife(), 11, 1, 150)[0]
+	for _, pt := range tr {
+		st.Push(pt)
+		if st.BufferSize() > 10 {
+			t.Fatalf("buffer %d > 10", st.BufferSize())
+		}
+	}
+	snap := st.Snapshot()
+	if st.Seen() != 150 {
+		t.Errorf("Seen = %d", st.Seen())
+	}
+	if !snap[len(snap)-1].Equal(tr[len(tr)-1]) {
+		t.Error("snapshot does not end at the last point")
+	}
+	// Batch policies cannot stream.
+	pb := trainQuickPolicy(t, NewOptions(SED, Plus))
+	if _, err := pb.NewStream(10); err == nil {
+		t.Error("batch policy allowed to stream")
+	}
+}
+
+func TestErrorHelpers(t *testing.T) {
+	tr := Generate(Truck(), 13, 1, 100)[0]
+	out, err := BottomUp(SED).Simplify(tr, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Error(SED, tr, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 0 {
+		t.Errorf("error %v < 0", e)
+	}
+	me, err := MeanError(SED, tr, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me < 0 || me > e {
+		t.Errorf("mean error %v outside [0, %v]", me, e)
+	}
+	kept, err := KeptIndices(tr, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != len(out) {
+		t.Error("KeptIndices length mismatch")
+	}
+	// Identity simplification has zero error.
+	e, err = Error(SED, tr, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Errorf("identity error %v", e)
+	}
+	// Non-simplification rejected.
+	if _, err := Error(SED, tr, Generate(Truck(), 14, 1, 50)[0]); err == nil {
+		t.Error("foreign trajectory accepted")
+	}
+}
+
+func TestGenerateAndCSV(t *testing.T) {
+	ds := Generate(TDrive(), 3, 4, 50)
+	if len(ds) != 4 || ds[0].Len() != 50 {
+		t.Fatalf("Generate shape wrong")
+	}
+	s := Summarize(ds)
+	if s.TotalPoints != 200 {
+		t.Errorf("TotalPoints = %d", s.TotalPoints)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 4 || !back[2].Equal(ds[2]) {
+		t.Error("CSV round trip failed")
+	}
+	varied := GenerateVaried(Geolife(), 5, 10, 30, 60)
+	for _, tr := range varied {
+		if tr.Len() < 30 || tr.Len() > 60 {
+			t.Fatalf("varied length %d", tr.Len())
+		}
+	}
+}
+
+func TestParseMeasure(t *testing.T) {
+	m, err := ParseMeasure("dad")
+	if err != nil || m != DAD {
+		t.Errorf("ParseMeasure = %v, %v", m, err)
+	}
+	if _, err := ParseMeasure("xyz"); err == nil {
+		t.Error("bad measure accepted")
+	}
+}
+
+func TestSimplifierRejectsBadW(t *testing.T) {
+	p := trainQuickPolicy(t, NewOptions(SED, Online))
+	tr := Generate(Geolife(), 1, 1, 50)[0]
+	if _, err := p.Simplifier().Simplify(tr, 1); err == nil {
+		t.Error("W=1 accepted")
+	}
+}
+
+func TestMinSizeAPI(t *testing.T) {
+	tr := Generate(Geolife(), 17, 1, 120)[0]
+	const bound = 10.0
+	for name, f := range map[string]func() (Trajectory, error){
+		"greedy":  func() (Trajectory, error) { return MinSizeGreedy(tr, bound, SED) },
+		"optimal": func() (Trajectory, error) { return MinSizeOptimal(tr, bound, SED) },
+		"search":  func() (Trajectory, error) { return MinSizeWith(tr, bound, SED, BottomUp(SED)) },
+	} {
+		out, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		e, err := Error(SED, tr, out)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if e > bound+1e-9 {
+			t.Errorf("%s: error %v exceeds bound %v", name, e, bound)
+		}
+	}
+}
+
+func TestQueryAPI(t *testing.T) {
+	tr := Generate(Truck(), 19, 1, 100)[0]
+	p := PositionAt(tr, tr[50].T)
+	if p.X != tr[50].X || p.Y != tr[50].Y {
+		t.Error("PositionAt at an exact timestamp should return the point")
+	}
+	c := PositionAt(tr, (tr[0].T+tr[99].T)/2)
+	r := Rect{MinX: c.X - 50, MinY: c.Y - 50, MaxX: c.X + 50, MaxY: c.Y + 50}
+	if !WithinDuring(tr, r, tr[0].T, tr[99].T) {
+		t.Error("object passes through a rect centered on its own path")
+	}
+	if d, _ := NearestApproach(tr, c); d > 50 {
+		t.Errorf("nearest approach %v to an on-path point", d)
+	}
+	if DTW(tr, tr) != 0 || DiscreteFrechet(tr, tr) != 0 {
+		t.Error("self-similarity should be 0")
+	}
+}
+
+func TestAdaptiveAPI(t *testing.T) {
+	tr := Generate(Geolife(), 23, 1, 200)[0]
+	m, feats := RecommendMeasure(tr)
+	if !m.Valid() {
+		t.Errorf("invalid recommendation %v", m)
+	}
+	if feats.MeanStep <= 0 {
+		t.Errorf("features not extracted: %+v", feats)
+	}
+	bm, out, err := SimplifyBalanced(tr, 25, func(m Measure) Simplifier { return BottomUp(m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bm.Valid() || len(out) > 25 || !out.IsSimplificationOf(tr) {
+		t.Error("balanced simplification contract violated")
+	}
+}

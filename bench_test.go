@@ -1,0 +1,207 @@
+package rlts
+
+import (
+	"math/rand"
+	"testing"
+
+	"rlts/internal/core"
+	"rlts/internal/errm"
+	"rlts/internal/eval"
+	"rlts/internal/gen"
+	"rlts/internal/nn"
+	"rlts/internal/rl"
+)
+
+// ---------------------------------------------------------------------------
+// Paper reproduction benches: one per table and figure, running the same
+// experiment harness as cmd/rlts-bench at quick scale. A benchmark
+// iteration is a full experiment (including policy training where the
+// experiment needs it); run `go run ./cmd/rlts-bench -exp ID -scale
+// default` for the full-size tables.
+// ---------------------------------------------------------------------------
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := eval.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		ctx := eval.NewContext(eval.QuickScale(), 1, nil)
+		tb, err := e.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable1DatasetStats(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkExpBellman(b *testing.B)         { benchExperiment(b, "bellman") }
+func BenchmarkFig3Variants(b *testing.B)       { benchExperiment(b, "fig3") }
+func BenchmarkFig4Effectiveness(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkExpPolicyAblation(b *testing.B)  { benchExperiment(b, "policy") }
+func BenchmarkExpVaryK(b *testing.B)           { benchExperiment(b, "k") }
+func BenchmarkExpVaryJ(b *testing.B)           { benchExperiment(b, "j") }
+func BenchmarkFig5Efficiency(b *testing.B)     { benchExperiment(b, "fig5") }
+func BenchmarkExpScalability(b *testing.B)     { benchExperiment(b, "scale") }
+func BenchmarkFig6VaryW(b *testing.B)          { benchExperiment(b, "fig6") }
+func BenchmarkFig7CaseStudy(b *testing.B)      { benchExperiment(b, "fig7") }
+func BenchmarkTable2TrainingTime(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig8TrainingCost(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkExpInference(b *testing.B)       { benchExperiment(b, "infer") }
+func BenchmarkExpQueryImpact(b *testing.B)     { benchExperiment(b, "query") }
+func BenchmarkExpNoiseRobustness(b *testing.B) { benchExperiment(b, "noise") }
+func BenchmarkExpStorageCost(b *testing.B)     { benchExperiment(b, "storage") }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: the per-point costs behind the efficiency claims.
+// ---------------------------------------------------------------------------
+
+func benchPolicy(b *testing.B, opts core.Options) *rl.Policy {
+	b.Helper()
+	p, err := rl.NewPolicy(opts.StateSize(), opts.NumActions(), 20, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkRLTSPerPoint measures the online per-point decision cost
+// (state build + network inference + drop + repair), the quantity Figure
+// 5 reports for the online mode.
+func BenchmarkRLTSPerPoint(b *testing.B) {
+	opts := core.DefaultOptions(errm.SED, core.Online)
+	p := benchPolicy(b, opts)
+	tr := gen.New(gen.Truck(), 1).Trajectory(10000)
+	w := 1000
+	b.ResetTimer()
+	processed := 0
+	for i := 0; i < b.N; i += len(tr) - w {
+		kept, err := core.Simplify(p, tr, w, opts, false, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = kept
+		processed += len(tr) - w
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(processed), "ns/point")
+}
+
+// BenchmarkSQUISHEPerPoint is the baseline counterpart of
+// BenchmarkRLTSPerPoint.
+func BenchmarkSQUISHEPerPoint(b *testing.B) {
+	tr := gen.New(gen.Truck(), 1).Trajectory(10000)
+	w := 1000
+	b.ResetTimer()
+	processed := 0
+	for i := 0; i < b.N; i += len(tr) - w {
+		s, err := SQUISHE(SED).Simplify(tr, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = s
+		processed += len(tr) - w
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(processed), "ns/point")
+}
+
+// BenchmarkBottomUp measures the batch baseline on a mid-size trajectory.
+func BenchmarkBottomUp(b *testing.B) {
+	tr := gen.New(gen.Truck(), 1).Trajectory(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BottomUp(SED).Simplify(tr, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRLTSPlusBatch measures RLTS+ on the same workload as
+// BenchmarkBottomUp.
+func BenchmarkRLTSPlusBatch(b *testing.B) {
+	opts := core.DefaultOptions(errm.SED, core.Plus)
+	p := benchPolicy(b, opts)
+	tr := gen.New(gen.Truck(), 1).Trajectory(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Simplify(p, tr, 500, opts, false, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicyForward measures one policy-network inference.
+func BenchmarkPolicyForward(b *testing.B) {
+	p := benchPolicy(b, core.DefaultOptions(errm.SED, core.Online))
+	state := []float64{0.1, 0.5, 1.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Probs(state, nil, false)
+	}
+}
+
+// BenchmarkTrainingStep measures REINFORCE throughput in transitions per
+// second (the paper's 10M-transition training budget).
+func BenchmarkTrainingStep(b *testing.B) {
+	ds := gen.New(gen.Geolife(), 1).Dataset(4, 200)
+	opts := core.DefaultOptions(errm.SED, core.Online)
+	to := core.DefaultTrainOptions()
+	to.RL.Episodes = 2
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i += steps {
+		_, res, err := core.Train(ds, opts, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.StepsRun
+		if steps == 0 {
+			b.Fatal("no steps run")
+		}
+	}
+}
+
+// BenchmarkErrorComputation measures the evaluation-side full-trajectory
+// error computation.
+func BenchmarkErrorComputation(b *testing.B) {
+	tr := gen.New(gen.Geolife(), 1).Trajectory(5000)
+	kept, err := BottomUp(SED).Simplify(tr, 500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Error(SED, tr, kept); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerate measures the synthetic data generator.
+func BenchmarkGenerate(b *testing.B) {
+	g := gen.New(gen.Geolife(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Trajectory(1000)
+	}
+}
+
+// BenchmarkNNForwardBackward measures a full gradient step of the policy
+// network.
+func BenchmarkNNForwardBackward(b *testing.B) {
+	spec := nn.MLPSpec{In: 3, Hidden: []int{20}, Out: 3, BatchNorm: true, Activation: "tanh"}
+	net, err := nn.NewMLP(spec, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{0.1, -0.3, 0.7}
+	grad := []float64{0.5, -0.25, -0.25}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+		net.Backward(grad)
+	}
+}

@@ -1,0 +1,56 @@
+// Command rlts-server runs the trajectory simplification HTTP service
+// with the embedded pretrained policies loaded (RLTS and RLTS+ for all
+// four measures) alongside every heuristic baseline.
+//
+//	rlts-server -addr :8080
+//	curl -s localhost:8080/v1/algorithms
+//	curl -s -X POST localhost:8080/v1/simplify -d '{
+//	  "algorithm": "rlts+", "measure": "SED", "ratio": 0.1,
+//	  "points": [[0,0,0],[1,0,1],[2,5,2],[3,0,3],[4,0,4]]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"rlts"
+	"rlts/internal/core"
+	"rlts/internal/server"
+	"rlts/pretrained"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	var policies []*core.Trained
+	for _, v := range []rlts.Variant{rlts.Online, rlts.Plus} {
+		for _, m := range rlts.Measures {
+			p, err := pretrained.Load(m, v)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rlts-server: loading %v/%v: %v\n", v, m, err)
+				os.Exit(1)
+			}
+			policies = append(policies, trainedOf(p))
+		}
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(policies).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+	}
+	fmt.Fprintf(os.Stderr, "rlts-server: %d policies loaded, listening on %s\n", len(policies), *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "rlts-server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// trainedOf unwraps the public Policy into the internal representation
+// the server consumes.
+func trainedOf(p *rlts.Policy) *core.Trained { return p.Internal() }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rlts/internal/core"
+	"rlts/internal/errm"
+	"rlts/internal/gen"
+)
+
+func TestResolveAlgorithmBaselines(t *testing.T) {
+	names := []string{"sttrace", "squish", "squishe", "topdown", "bottomup", "bellman", "spansearch", "uniform"}
+	tr := gen.New(gen.Geolife(), 1).Trajectory(60)
+	for _, name := range names {
+		run, label, pm, err := resolveAlgorithm("", name, errm.SED, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if label == "" {
+			t.Errorf("%s: empty label", name)
+		}
+		if pm != nil {
+			t.Errorf("%s: baseline returned a policy measure", name)
+		}
+		kept, err := run(tr, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(kept) > 10 {
+			t.Errorf("%s: kept %d", name, len(kept))
+		}
+	}
+}
+
+func TestResolveAlgorithmErrors(t *testing.T) {
+	if _, _, _, err := resolveAlgorithm("", "", errm.SED, 1); err == nil {
+		t.Error("neither policy nor algo: accepted")
+	}
+	if _, _, _, err := resolveAlgorithm("", "warp-drive", errm.SED, 1); err == nil {
+		t.Error("unknown algo accepted")
+	}
+	if _, _, _, err := resolveAlgorithm("x.json", "sttrace", errm.SED, 1); err == nil {
+		t.Error("both policy and algo accepted")
+	}
+	if _, _, _, err := resolveAlgorithm(filepath.Join(t.TempDir(), "missing.json"), "", errm.SED, 1); err == nil {
+		t.Error("missing policy file accepted")
+	}
+}
+
+func TestResolveAlgorithmPolicyFile(t *testing.T) {
+	// Train a minimal policy, save it, and resolve it.
+	opts := core.DefaultOptions(errm.SED, core.Online)
+	to := core.DefaultTrainOptions()
+	to.RL.Episodes = 3
+	ds := gen.New(gen.Geolife(), 2).Dataset(5, 60)
+	trained, _, err := core.Train(ds, opts, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trained.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	run, label, pm, err := resolveAlgorithm(path, "", errm.PED, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "RLTS" {
+		t.Errorf("label = %q", label)
+	}
+	if pm == nil || *pm != errm.SED {
+		t.Errorf("policy measure = %v, want SED (the trained measure)", pm)
+	}
+	tr := gen.New(gen.Geolife(), 3).Trajectory(80)
+	kept, err := run(tr, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) > 12 {
+		t.Errorf("kept %d", len(kept))
+	}
+}

@@ -1,0 +1,119 @@
+// Command rlts-train learns an RLTS policy and writes it to a JSON file
+// usable by rlts-simplify.
+//
+// Training data comes either from a CSV file (-in, traj_id,x,y,t format)
+// or from a synthetic dataset profile (-gen, with -count/-len/-seed).
+//
+// Usage:
+//
+//	rlts-train -gen geolife -count 200 -len 500 -measure SED -variant rlts+ -o policy.json
+//	rlts-train -in trips.csv -measure DAD -variant rlts -j 2 -epochs 3 -o policy.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rlts/internal/core"
+	"rlts/internal/errm"
+	"rlts/internal/gen"
+	"rlts/internal/traj"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "training CSV file (traj_id,x,y,t)")
+		genName  = flag.String("gen", "", "generate training data from a profile: geolife, tdrive or truck")
+		count    = flag.Int("count", 200, "trajectories to generate (with -gen)")
+		length   = flag.Int("len", 500, "points per generated trajectory (with -gen)")
+		seed     = flag.Int64("seed", 1, "seed for generation and training")
+		measure  = flag.String("measure", "SED", "error measure: SED, PED, DAD or SAD")
+		variant  = flag.String("variant", "rlts", "variant: rlts, rlts+ or rlts++")
+		k        = flag.Int("k", 3, "state size k")
+		j        = flag.Int("j", 0, "skip horizon J (0 = no skipping)")
+		episodes = flag.Int("episodes", 10, "episodes per trajectory per epoch")
+		epochs   = flag.Int("epochs", 1, "passes over the training set")
+		lr       = flag.Float64("lr", 1e-3, "Adam learning rate")
+		gamma    = flag.Float64("gamma", 0.99, "reward discount")
+		wratio   = flag.Float64("wratio", 0.1, "training budget as a fraction of |T|")
+		out      = flag.String("o", "policy.json", "output policy file")
+		verbose  = flag.Bool("v", false, "log training progress")
+	)
+	flag.Parse()
+
+	m, err := errm.Parse(*measure)
+	if err != nil {
+		fail(err)
+	}
+	v, err := core.ParseVariant(*variant)
+	if err != nil {
+		fail(err)
+	}
+	opts := core.Options{Measure: m, Variant: v, K: *k, J: *j}
+	if err := opts.Validate(); err != nil {
+		fail(err)
+	}
+
+	var dataset []traj.Trajectory
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		dataset, err = traj.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	case *genName != "":
+		profile, ok := gen.ByName(*genName)
+		if !ok {
+			fail(fmt.Errorf("unknown dataset %q", *genName))
+		}
+		dataset = gen.New(profile, *seed).Dataset(*count, *length)
+	default:
+		fail(fmt.Errorf("provide training data with -in FILE or -gen PROFILE"))
+	}
+
+	to := core.DefaultTrainOptions()
+	to.RL.Episodes = *episodes
+	to.RL.Epochs = *epochs
+	to.RL.LearningRate = *lr
+	to.RL.Gamma = *gamma
+	to.RL.Seed = *seed
+	to.WRatio = *wratio
+	if *verbose {
+		to.RL.Log = os.Stderr
+		to.RL.LogEvery = 50
+	}
+
+	fmt.Fprintf(os.Stderr, "rlts-train: training %s/%s (k=%d, J=%d) on %d trajectories\n",
+		opts.Name(), m, *k, *j, len(dataset))
+	start := time.Now()
+	trained, res, err := core.Train(dataset, opts, to)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "rlts-train: %d episodes, %d transitions in %v (best episode reward %.4f)\n",
+		res.EpisodesRun, res.StepsRun, time.Since(start).Round(time.Millisecond), res.BestReward)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	if err := trained.Save(f); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "rlts-train: policy written to %s\n", *out)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "rlts-train: %v\n", err)
+	os.Exit(1)
+}

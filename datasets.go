@@ -1,0 +1,47 @@
+package rlts
+
+import (
+	"io"
+
+	"rlts/internal/gen"
+	"rlts/internal/traj"
+)
+
+// DatasetProfile describes a synthetic dataset generator configuration.
+type DatasetProfile = gen.Config
+
+// Geolife returns the dense multi-modal profile matching the paper's
+// Geolife statistics (1-5 s sampling, ~10 m spacing).
+func Geolife() DatasetProfile { return gen.Geolife() }
+
+// TDrive returns the sparse taxi profile matching the paper's T-Drive
+// statistics (~177 s sampling, ~623 m spacing).
+func TDrive() DatasetProfile { return gen.TDrive() }
+
+// Truck returns the freight-truck profile matching the paper's Truck
+// statistics (3-60 s sampling, ~83 m spacing).
+func Truck() DatasetProfile { return gen.Truck() }
+
+// Generate produces count seeded synthetic trajectories of n points each.
+func Generate(profile DatasetProfile, seed int64, count, n int) []Trajectory {
+	return gen.New(profile, seed).Dataset(count, n)
+}
+
+// GenerateVaried produces count trajectories with lengths drawn uniformly
+// from [minN, maxN].
+func GenerateVaried(profile DatasetProfile, seed int64, count, minN, maxN int) []Trajectory {
+	return gen.New(profile, seed).DatasetVaried(count, minN, maxN)
+}
+
+// DatasetStats summarizes a dataset the way the paper's Table I does.
+type DatasetStats = traj.Stats
+
+// Summarize computes dataset statistics.
+func Summarize(ts []Trajectory) DatasetStats { return traj.Summarize(ts) }
+
+// WriteCSV writes trajectories in the traj_id,x,y,t CSV format used by
+// the cmd/ tools.
+func WriteCSV(w io.Writer, ts []Trajectory) error { return traj.WriteCSV(w, ts) }
+
+// ReadCSV reads trajectories in the traj_id,x,y,t CSV format.
+func ReadCSV(r io.Reader) ([]Trajectory, error) { return traj.ReadCSV(r) }

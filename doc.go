@@ -1,0 +1,36 @@
+// Package rlts is a Go implementation of "Trajectory Simplification with
+// Reinforcement Learning" (Wang, Long, Cong — ICDE 2021).
+//
+// It solves the Min-Error trajectory simplification problem: given a
+// trajectory of time-stamped points and a storage budget W, keep at most W
+// points (always including the endpoints) so that the error of the
+// simplified trajectory — under SED, PED, DAD or SAD — is as small as
+// possible. Two modes are supported: online (points arrive one by one and
+// dropped points are gone; buffer of size W) and batch (the whole
+// trajectory is available).
+//
+// The package exposes:
+//
+//   - The paper's contribution: the RLTS family of learned simplifiers
+//     (RLTS, RLTS-Skip for both modes; RLTS+, RLTS-Skip+, RLTS++ and
+//     RLTS-Skip++ for the batch mode), trained with REINFORCE on a
+//     repository of trajectories (Train) and applied via Policy.
+//   - Every baseline the paper compares against: STTrace, SQUISH and
+//     SQUISH-E (online); Bellman, Top-Down, Bottom-Up and Span-Search
+//     (batch) — all behind the same Simplifier interface.
+//   - The four error measurements and evaluation helpers (Error).
+//   - A push-based streaming interface for sensor-side deployment
+//     (Policy.NewStream).
+//   - Seeded synthetic dataset generators with the statistical character
+//     of the paper's Geolife, T-Drive and Truck datasets (Generate).
+//
+// A minimal end-to-end use:
+//
+//	train := rlts.Generate(rlts.Geolife(), 1, 100, 500)
+//	policy, _, err := rlts.Train(train, rlts.NewOptions(rlts.SED, rlts.Online), rlts.DefaultTrainConfig())
+//	if err != nil { ... }
+//	simplified, err := policy.Simplifier().Simplify(myTrajectory, len(myTrajectory)/10)
+//
+// See examples/ for runnable programs and DESIGN.md / EXPERIMENTS.md for
+// the reproduction methodology.
+package rlts

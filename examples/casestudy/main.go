@@ -1,0 +1,59 @@
+// Casestudy: reproduces Figure 7 — one raw trajectory (blue) with its
+// simplifications (red dashed) by RLTS and the online baselines, rendered
+// to an SVG per algorithm with the SED error in the caption.
+//
+//	go run ./examples/casestudy [-o DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+	"strings"
+
+	"rlts"
+	"rlts/internal/viz"
+)
+
+func main() {
+	outDir := flag.String("o", ".", "output directory for the SVG files")
+	flag.Parse()
+
+	cfg := rlts.DefaultTrainConfig()
+	cfg.Epochs = 3
+	train := rlts.Generate(rlts.Geolife(), 31, 60, 300)
+	policy, _, err := rlts.Train(train, rlts.NewOptions(rlts.SED, rlts.Online), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tr := rlts.Generate(rlts.Geolife(), 777, 1, 600)[0]
+	w := tr.Len() / 10
+
+	algos := []rlts.Simplifier{
+		policy.Simplifier(),
+		rlts.STTrace(rlts.SED),
+		rlts.SQUISH(rlts.SED),
+		rlts.SQUISHE(rlts.SED),
+	}
+	fmt.Printf("case study: %d-point trajectory, W=%d\n", tr.Len(), w)
+	for _, a := range algos {
+		s, err := a.Simplify(tr, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := rlts.Error(rlts.SED, tr, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fig := viz.NewFigure(tr, fmt.Sprintf("eps = %.3f; raw %d points, simplified %d", e, tr.Len(), s.Len()))
+		fig.AddOverlay(s, a.Name())
+		name := strings.ToLower(strings.ReplaceAll(a.Name(), "-", ""))
+		path := filepath.Join(*outDir, fmt.Sprintf("casestudy_%s.svg", name))
+		if err := fig.SaveSVG(path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s SED error %.3f -> %s\n", a.Name(), e, path)
+	}
+}

@@ -1,0 +1,73 @@
+// Queryimpact: the motivation experiment of the paper's introduction —
+// simplification exists to cut storage and query cost. This example
+// simplifies a fleet 10x with the embedded pretrained RLTS+ policy and
+// with Uniform sampling, then compares how well three query types answer
+// on the compressed data: position-at-time, range queries and trajectory
+// similarity (DTW).
+//
+//	go run ./examples/queryimpact
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"rlts"
+	"rlts/pretrained"
+)
+
+func main() {
+	policy, err := pretrained.Load(rlts.SED, rlts.Plus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet := rlts.Generate(rlts.Geolife(), 4242, 15, 800)
+	algos := []rlts.Simplifier{policy.Simplifier(), rlts.Uniform()}
+
+	fmt.Println("10x compression; query answers vs the raw data:")
+	for _, a := range algos {
+		r := rand.New(rand.NewSource(7))
+		var posErr, dtwRel float64
+		var posProbes int
+		var agree, rangeProbes int
+		for _, t := range fleet {
+			s, err := a.Simplify(t, t.Len()/10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t0, t1 := t[0].T, t[t.Len()-1].T
+			for p := 0; p < 30; p++ {
+				ts := t0 + r.Float64()*(t1-t0)
+				d := dist(rlts.PositionAt(t, ts), rlts.PositionAt(s, ts))
+				posErr += d
+				posProbes++
+			}
+			for p := 0; p < 10; p++ {
+				ts := t0 + r.Float64()*(t1-t0)
+				c := rlts.PositionAt(t, ts)
+				half := 50.0
+				rect := rlts.Rect{MinX: c.X - half, MinY: c.Y - half, MaxX: c.X + half, MaxY: c.Y + half}
+				w := (t1 - t0) * 0.05
+				qs := t0 + r.Float64()*(t1-t0-w)
+				if rlts.WithinDuring(t, rect, qs, qs+w) == rlts.WithinDuring(s, rect, qs, qs+w) {
+					agree++
+				}
+				rangeProbes++
+			}
+			// Similarity self-distance: DTW(raw, simplified) normalized by
+			// path length approximates the similarity distortion.
+			dtwRel += rlts.DTW(t, s) / float64(t.Len())
+		}
+		fmt.Printf("  %-10s mean position error %6.2fm   range agreement %5.1f%%   DTW distortion %6.2fm/pt\n",
+			a.Name(),
+			posErr/float64(posProbes),
+			100*float64(agree)/float64(rangeProbes),
+			dtwRel/float64(len(fleet)))
+	}
+}
+
+func dist(a, b rlts.Point) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}

@@ -1,0 +1,52 @@
+// Quickstart: generate synthetic GPS data, train a small RLTS policy,
+// simplify a held-out trajectory and compare against a classic baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlts"
+)
+
+func main() {
+	// 1. A training repository: 60 Geolife-like trajectories of 300 points.
+	train := rlts.Generate(rlts.Geolife(), 1, 60, 300)
+
+	// 2. Learn an online-mode policy for the SED measure. A few epochs on
+	// this small repository takes seconds; real deployments train longer.
+	cfg := rlts.DefaultTrainConfig()
+	cfg.Epochs = 3
+	policy, stats, err := rlts.Train(train, rlts.NewOptions(rlts.SED, rlts.Online), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %s: %d episodes, %d transitions\n",
+		policy.Name(), stats.EpisodesRun, stats.StepsRun)
+
+	// 3. Simplify a held-out trajectory to 10% of its size.
+	target := rlts.Generate(rlts.Geolife(), 99, 1, 1000)[0]
+	w := target.Len() / 10
+	simplified, err := policy.Simplifier().Simplify(target, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Compare against SQUISH-E, the strongest online baseline.
+	baseline, err := rlts.SQUISHE(rlts.SED).Simplify(target, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(name string, s rlts.Trajectory) {
+		e, err := rlts.Error(rlts.SED, target, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s kept %4d/%d points, SED error %.3f\n", name, s.Len(), target.Len(), e)
+	}
+	report(policy.Name(), simplified)
+	report("SQUISH-E", baseline)
+}

@@ -1,0 +1,72 @@
+// Sensorstream: the paper's online scenario. A GPS sensor with a tiny
+// buffer receives points one at a time; RLTS-Skip decides, per point,
+// whether to drop a buffered point or skip incoming ones. The example
+// streams a simulated truck trip through the policy and periodically
+// reports the state of the buffer, then compares the final simplification
+// with SQUISH-E run over the same stream.
+//
+//	go run ./examples/sensorstream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlts"
+)
+
+func main() {
+	// Train an online RLTS-Skip policy (J=2 skip actions, as in the paper).
+	opts := rlts.NewOptions(rlts.SED, rlts.Online)
+	opts.J = 2
+	cfg := rlts.DefaultTrainConfig()
+	cfg.Epochs = 3
+	train := rlts.Generate(rlts.Truck(), 7, 60, 300)
+	policy, _, err := rlts.Train(train, opts, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The sensor: a 2,000-point truck trip, buffer budget 64 points.
+	trip := rlts.Generate(rlts.Truck(), 1234, 1, 2000)[0]
+	const budget = 64
+
+	stream, err := policy.NewStream(budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streaming %d points through a %d-point buffer with %s\n",
+		trip.Len(), budget, policy.Name())
+	for i, p := range trip {
+		stream.Push(p)
+		if (i+1)%500 == 0 {
+			snap := stream.Snapshot()
+			e, err := rlts.Error(rlts.SED, trip[:i+1], snap)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  after %4d points: buffer %d/%d, running SED error %.3f\n",
+				i+1, stream.BufferSize(), budget, e)
+		}
+	}
+	final := stream.Snapshot()
+	rltsErr, err := rlts.Error(rlts.SED, trip, final)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The baseline sees the same stream (its API is slice-driven, but it
+	// processes points strictly left to right, so this is the same mode).
+	base, err := rlts.SQUISHE(rlts.SED).Simplify(trip, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseErr, err := rlts.Error(rlts.SED, trip, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nfinal simplifications of %d points:\n", trip.Len())
+	fmt.Printf("  %-10s %3d points, SED error %.3f\n", policy.Name(), final.Len(), rltsErr)
+	fmt.Printf("  %-10s %3d points, SED error %.3f\n", "SQUISH-E", base.Len(), baseErr)
+}

@@ -1,0 +1,58 @@
+// Serverbatch: the paper's batch scenario. A server holds accumulated
+// trajectories and wants to shrink storage to 10% while keeping query
+// error low. The example trains RLTS+ policies for all four error
+// measures and pits them against Top-Down and Bottom-Up on a held-out
+// fleet of taxi trips, printing a Figure-4-style comparison.
+//
+//	go run ./examples/serverbatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlts"
+)
+
+func main() {
+	cfg := rlts.DefaultTrainConfig()
+	cfg.Epochs = 3
+	train := rlts.Generate(rlts.TDrive(), 21, 50, 300)
+	fleet := rlts.Generate(rlts.TDrive(), 2100, 20, 800)
+	const ratio = 0.1
+
+	fmt.Printf("storage reduction to %.0f%% on %d trajectories (T-Drive profile)\n\n",
+		ratio*100, len(fleet))
+	fmt.Printf("%-8s  %-12s  %-12s\n", "measure", "algorithm", "mean error")
+	for _, m := range rlts.Measures {
+		policy, _, err := rlts.Train(train, rlts.NewOptions(m, rlts.Plus), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		algos := []rlts.Simplifier{
+			policy.Simplifier(),
+			rlts.TopDown(m),
+			rlts.BottomUp(m),
+		}
+		if m == rlts.DAD {
+			algos = append(algos, rlts.SpanSearch())
+		}
+		for _, a := range algos {
+			var sum float64
+			for _, t := range fleet {
+				w := int(ratio * float64(t.Len()))
+				s, err := a.Simplify(t, w)
+				if err != nil {
+					log.Fatal(err)
+				}
+				e, err := rlts.Error(m, t, s)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sum += e
+			}
+			fmt.Printf("%-8s  %-12s  %.4f\n", m, a.Name(), sum/float64(len(fleet)))
+		}
+		fmt.Println()
+	}
+}

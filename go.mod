@@ -1,0 +1,3 @@
+module rlts
+
+go 1.22

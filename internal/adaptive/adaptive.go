@@ -1,0 +1,190 @@
+// Package adaptive prototypes the paper's future-work direction (§VII):
+// "explore how to choose the error measurement (e.g., SED, PED, etc.)
+// adaptively for different application scenarios."
+//
+// Two mechanisms are provided:
+//
+//   - Recommend: a feature-based rule that inspects a trajectory's
+//     dynamics (heading churn, speed dispersion, jitter, sampling
+//     regularity) and picks the measure whose notion of error the data
+//     can meaningfully support.
+//   - SelectBalanced: an ensemble that simplifies under every candidate
+//     measure and returns the simplification minimizing the worst
+//     *normalized* error across all four measures — a measure-agnostic
+//     compromise for applications that cannot commit to one.
+//
+// This is an extension beyond the paper's evaluation; DESIGN.md records
+// it as such.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+
+	"rlts/internal/errm"
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+// Features summarizes the dynamics that differentiate the error measures.
+type Features struct {
+	// MeanStep is the mean inter-point distance (the natural length scale
+	// for SED/PED errors).
+	MeanStep float64
+	// SpeedCV is the coefficient of variation of per-segment speeds; high
+	// values mean speed carries information (SAD territory).
+	SpeedCV float64
+	// HeadingChurn is the mean absolute heading change between
+	// consecutive segments, in radians; high values mean direction
+	// carries information (DAD territory).
+	HeadingChurn float64
+	// GapCV is the coefficient of variation of sampling intervals;
+	// irregular sampling makes time-synchronized comparison (SED) more
+	// informative than purely geometric comparison (PED).
+	GapCV float64
+}
+
+// Extract computes Features for a trajectory.
+func Extract(t traj.Trajectory) Features {
+	var f Features
+	n := len(t)
+	if n < 3 {
+		return f
+	}
+	var (
+		sumStep, sumGap float64
+		speeds          []float64
+		prevHeading     float64
+		havePrev        bool
+		sumTurn         float64
+		turns           int
+	)
+	for i := 1; i < n; i++ {
+		s := t.Segment(i-1, i)
+		sumStep += s.Length()
+		sumGap += s.Duration()
+		speeds = append(speeds, s.Speed())
+		if !s.IsDegenerate() {
+			h := s.Direction()
+			if havePrev {
+				sumTurn += geo.AngularDifference(prevHeading, h)
+				turns++
+			}
+			prevHeading = h
+			havePrev = true
+		}
+	}
+	segs := float64(n - 1)
+	f.MeanStep = sumStep / segs
+	meanGap := sumGap / segs
+	f.SpeedCV = coeffVar(speeds)
+	if turns > 0 {
+		f.HeadingChurn = sumTurn / float64(turns)
+	}
+	var gaps []float64
+	for i := 1; i < n; i++ {
+		gaps = append(gaps, t[i].T-t[i-1].T)
+	}
+	if meanGap > 0 {
+		f.GapCV = coeffVar(gaps)
+	}
+	return f
+}
+
+func coeffVar(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, v := range vs {
+		mean += v
+	}
+	mean /= float64(len(vs))
+	if mean == 0 {
+		return 0
+	}
+	var varAcc float64
+	for _, v := range vs {
+		d := v - mean
+		varAcc += d * d
+	}
+	return math.Sqrt(varAcc/float64(len(vs))) / mean
+}
+
+// Recommend picks the error measure whose signal dominates the
+// trajectory's dynamics. The thresholds are deliberately simple — this is
+// a prototype of the paper's future-work idea, not a tuned system:
+//
+//   - strong heading churn (> ~30 deg per segment) → DAD
+//   - strong speed dispersion (CV > 0.8) with steady heading → SAD
+//   - irregular sampling (gap CV > 0.5) → SED (synchronization matters)
+//   - otherwise → PED (pure geometry suffices)
+func Recommend(t traj.Trajectory) (errm.Measure, Features) {
+	f := Extract(t)
+	switch {
+	case f.HeadingChurn > math.Pi/6:
+		return errm.DAD, f
+	case f.SpeedCV > 0.8:
+		return errm.SAD, f
+	case f.GapCV > 0.5:
+		return errm.SED, f
+	default:
+		return errm.PED, f
+	}
+}
+
+// Simplifier is a per-measure Min-Error algorithm (budget in, kept
+// indices out).
+type Simplifier func(t traj.Trajectory, w int, m errm.Measure) ([]int, error)
+
+// SelectBalanced simplifies t under every candidate measure with f and
+// returns the kept indices minimizing the maximum *normalized* error over
+// all four measures, together with the measure that produced them.
+// Normalization divides SED/PED by the trajectory's mean step length, DAD
+// by its mean heading change and SAD by its mean speed, so the four error
+// scales become comparable.
+func SelectBalanced(t traj.Trajectory, w int, f Simplifier) (errm.Measure, []int, error) {
+	feats := Extract(t)
+	scale := func(m errm.Measure) float64 {
+		switch m {
+		case errm.SED, errm.PED:
+			if feats.MeanStep > 0 {
+				return feats.MeanStep
+			}
+		case errm.DAD:
+			if feats.HeadingChurn > 0 {
+				return feats.HeadingChurn
+			}
+		case errm.SAD:
+			var sum float64
+			for i := 1; i < len(t); i++ {
+				sum += t.Segment(i-1, i).Speed()
+			}
+			if mean := sum / float64(len(t)-1); mean > 0 {
+				return mean
+			}
+		}
+		return 1
+	}
+	bestScore := math.Inf(1)
+	var bestM errm.Measure
+	var bestKept []int
+	for _, m := range errm.Measures {
+		kept, err := f(t, w, m)
+		if err != nil {
+			return 0, nil, fmt.Errorf("adaptive: simplifying under %v: %w", m, err)
+		}
+		var worst float64
+		for _, em := range errm.Measures {
+			if v := errm.Error(em, t, kept) / scale(em); v > worst {
+				worst = v
+			}
+		}
+		if worst < bestScore {
+			bestScore = worst
+			bestM = m
+			bestKept = kept
+		}
+	}
+	return bestM, bestKept, nil
+}

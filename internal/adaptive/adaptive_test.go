@@ -1,0 +1,144 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"rlts/internal/baseline/batch"
+	"rlts/internal/errm"
+	"rlts/internal/gen"
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+// mkTraj builds a trajectory with controllable dynamics.
+func mkTraj(n int, turnEvery int, speedPattern []float64, gapPattern []float64) traj.Trajectory {
+	t := make(traj.Trajectory, n)
+	x, y, ts := 0.0, 0.0, 0.0
+	heading := 0.0
+	for i := 0; i < n; i++ {
+		t[i] = geo.Pt(x, y, ts)
+		if turnEvery > 0 && i%turnEvery == turnEvery-1 {
+			heading += math.Pi / 2
+		}
+		speed := speedPattern[i%len(speedPattern)]
+		gap := gapPattern[i%len(gapPattern)]
+		x += speed * gap * math.Cos(heading)
+		y += speed * gap * math.Sin(heading)
+		ts += gap
+	}
+	return t
+}
+
+func TestExtractFeatures(t *testing.T) {
+	// Constant speed, straight line, uniform sampling: everything ~0.
+	straight := mkTraj(50, 0, []float64{2}, []float64{1})
+	f := Extract(straight)
+	if f.SpeedCV > 0.01 || f.HeadingChurn > 0.01 || f.GapCV > 0.01 {
+		t.Errorf("straight line features not near zero: %+v", f)
+	}
+	if !almost(f.MeanStep, 2, 1e-9) {
+		t.Errorf("MeanStep = %v, want 2", f.MeanStep)
+	}
+	// Tiny trajectory: zero features, no panic.
+	if got := Extract(straight[:2]); got.MeanStep != 0 {
+		t.Errorf("short trajectory features = %+v", got)
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRecommendByDynamics(t *testing.T) {
+	tests := []struct {
+		name string
+		tr   traj.Trajectory
+		want errm.Measure
+	}{
+		{
+			"zigzag -> DAD",
+			mkTraj(60, 2, []float64{2}, []float64{1}),
+			errm.DAD,
+		},
+		{
+			"stop-and-go -> SAD",
+			mkTraj(60, 0, []float64{0.2, 8, 0.2, 9}, []float64{1}),
+			errm.SAD,
+		},
+		{
+			"irregular sampling -> SED",
+			mkTraj(60, 0, []float64{2}, []float64{1, 1, 12}),
+			errm.SED,
+		},
+		{
+			"smooth and regular -> PED",
+			mkTraj(60, 0, []float64{2}, []float64{1}),
+			errm.PED,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, feats := Recommend(tc.tr)
+			if got != tc.want {
+				t.Errorf("Recommend = %v, want %v (features %+v)", got, tc.want, feats)
+			}
+		})
+	}
+}
+
+func TestSelectBalanced(t *testing.T) {
+	tr := gen.New(gen.Geolife(), 7).Trajectory(200)
+	m, kept, err := SelectBalanced(tr, 30, func(t traj.Trajectory, w int, m errm.Measure) ([]int, error) {
+		return batch.BottomUp(t, w, m)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Valid() {
+		t.Errorf("invalid selected measure %v", m)
+	}
+	if len(kept) > 30 || !tr.Pick(kept).IsSimplificationOf(tr) {
+		t.Error("invalid simplification")
+	}
+	// The balanced pick must be no worse (in its own normalized max-score)
+	// than any single-measure result — verify against SED's result.
+	sedKept, err := batch.BottomUp(tr, 30, errm.SED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(kept []int) float64 {
+		feats := Extract(tr)
+		var worst float64
+		for _, em := range errm.Measures {
+			s := 1.0
+			switch em {
+			case errm.SED, errm.PED:
+				s = feats.MeanStep
+			case errm.DAD:
+				s = feats.HeadingChurn
+			case errm.SAD:
+				var sum float64
+				for i := 1; i < len(tr); i++ {
+					sum += tr.Segment(i-1, i).Speed()
+				}
+				s = sum / float64(len(tr)-1)
+			}
+			if v := errm.Error(em, tr, kept) / s; v > worst {
+				worst = v
+			}
+		}
+		return worst
+	}
+	if score(kept) > score(sedKept)+1e-9 {
+		t.Errorf("balanced pick score %v worse than SED-only %v", score(kept), score(sedKept))
+	}
+}
+
+func TestSelectBalancedPropagatesErrors(t *testing.T) {
+	tr := gen.New(gen.Geolife(), 8).Trajectory(50)
+	_, _, err := SelectBalanced(tr, 10, func(t traj.Trajectory, w int, m errm.Measure) ([]int, error) {
+		return batch.Bellman(t, 1, m) // invalid budget -> error
+	})
+	if err == nil {
+		t.Error("error not propagated")
+	}
+}

@@ -1,0 +1,48 @@
+package batch
+
+import (
+	"testing"
+
+	"rlts/internal/errm"
+	"rlts/internal/gen"
+)
+
+func BenchmarkBottomUp(b *testing.B) {
+	t := gen.New(gen.Truck(), 1).Trajectory(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BottomUp(t, 500, errm.SED); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopDown(b *testing.B) {
+	t := gen.New(gen.Truck(), 1).Trajectory(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopDown(t, 500, errm.SED); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBellmanShort(b *testing.B) {
+	t := gen.New(gen.Geolife(), 1).Trajectory(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Bellman(t, 20, errm.SED); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpanSearch(b *testing.B) {
+	t := gen.New(gen.Truck(), 1).Trajectory(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SpanSearch(t, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

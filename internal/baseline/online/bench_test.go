@@ -1,0 +1,35 @@
+package online
+
+import (
+	"testing"
+
+	"rlts/internal/errm"
+	"rlts/internal/gen"
+)
+
+func benchAlgo(b *testing.B, f func() ([]int, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSTTrace(b *testing.B) {
+	t := gen.New(gen.Truck(), 1).Trajectory(10000)
+	b.ResetTimer()
+	benchAlgo(b, func() ([]int, error) { return STTrace(t, 1000, errm.SED) })
+}
+
+func BenchmarkSQUISH(b *testing.B) {
+	t := gen.New(gen.Truck(), 1).Trajectory(10000)
+	b.ResetTimer()
+	benchAlgo(b, func() ([]int, error) { return SQUISH(t, 1000, errm.SED) })
+}
+
+func BenchmarkSQUISHE(b *testing.B) {
+	t := gen.New(gen.Truck(), 1).Trajectory(10000)
+	b.ResetTimer()
+	benchAlgo(b, func() ([]int, error) { return SQUISHE(t, 1000, errm.SED) })
+}

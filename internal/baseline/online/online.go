@@ -1,0 +1,152 @@
+// Package online implements the online-mode Min-Error baselines the paper
+// compares against: STTrace, SQUISH and SQUISH-E. All three share the
+// buffered scan framework (fill a W-point buffer, then drop one point per
+// incoming point) and differ only in how a point's importance value is
+// defined and repaired after a drop:
+//
+//	STTrace   — importance is recomputed exactly from the current
+//	            neighbours (Potamias et al.).
+//	SQUISH    — the dropped point's priority is *added* to its neighbours,
+//	            carrying accumulated error forward (Muckell et al. 2011).
+//	SQUISH-E  — the dropped point's priority is carried as a *maximum*,
+//	            the refined update of Muckell et al. 2014.
+//
+// The importance of a point is the measure-generic online value (package
+// errm), so all baselines run under SED, PED, DAD and SAD as in the
+// paper's comparison. All three run in O((n-W) log W).
+package online
+
+import (
+	"fmt"
+
+	"rlts/internal/buffer"
+	"rlts/internal/errm"
+	"rlts/internal/traj"
+)
+
+// repairFunc updates the values of the two neighbours of a dropped entry.
+// carried tracks per-entry error carried over from earlier drops.
+type repairFunc func(buf *buffer.Buffer, m errm.Measure, dropped, prev, next *buffer.Entry, carried map[*buffer.Entry]float64)
+
+// STTrace simplifies t to at most w points using exact neighbour
+// recomputation.
+func STTrace(t traj.Trajectory, w int, m errm.Measure) ([]int, error) {
+	return runOnline(t, w, m, func(buf *buffer.Buffer, m errm.Measure, dropped, prev, next *buffer.Entry, _ map[*buffer.Entry]float64) {
+		if prev.Prev() != nil {
+			buf.SetValue(prev, errm.OnlineValue(m, prev.Prev().P, prev.P, next.P))
+		}
+		if next.Next() != nil {
+			buf.SetValue(next, errm.OnlineValue(m, prev.P, next.P, next.Next().P))
+		}
+	})
+}
+
+// SQUISH simplifies t to at most w points, distributing a dropped point's
+// priority additively to its neighbours.
+func SQUISH(t traj.Trajectory, w int, m errm.Measure) ([]int, error) {
+	return runOnline(t, w, m, func(buf *buffer.Buffer, m errm.Measure, dropped, prev, next *buffer.Entry, carried map[*buffer.Entry]float64) {
+		dv := dropped.Value()
+		carried[prev] += dv
+		carried[next] += dv
+		if prev.Prev() != nil {
+			buf.SetValue(prev, errm.OnlineValue(m, prev.Prev().P, prev.P, next.P)+carried[prev])
+		}
+		if next.Next() != nil {
+			buf.SetValue(next, errm.OnlineValue(m, prev.P, next.P, next.Next().P)+carried[next])
+		}
+	})
+}
+
+// SQUISHE simplifies t to at most w points, carrying a dropped point's
+// priority to its neighbours as a maximum (the SQUISH-E refinement).
+func SQUISHE(t traj.Trajectory, w int, m errm.Measure) ([]int, error) {
+	return runOnline(t, w, m, func(buf *buffer.Buffer, m errm.Measure, dropped, prev, next *buffer.Entry, carried map[*buffer.Entry]float64) {
+		dv := dropped.Value()
+		if dv > carried[prev] {
+			carried[prev] = dv
+		}
+		if dv > carried[next] {
+			carried[next] = dv
+		}
+		if prev.Prev() != nil {
+			buf.SetValue(prev, errm.OnlineValue(m, prev.Prev().P, prev.P, next.P)+carried[prev])
+		}
+		if next.Next() != nil {
+			buf.SetValue(next, errm.OnlineValue(m, prev.P, next.P, next.Next().P)+carried[next])
+		}
+	})
+}
+
+// Uniform keeps every ceil(n/w)-th point (plus the endpoints). It is not a
+// paper baseline but a useful sanity floor for the evaluation harness.
+func Uniform(t traj.Trajectory, w int) ([]int, error) {
+	n := len(t)
+	if err := checkArgs(n, w); err != nil {
+		return nil, err
+	}
+	if n <= w {
+		return allIndices(n), nil
+	}
+	kept := make([]int, 0, w)
+	// Spread w kept points evenly across [0, n-1].
+	for i := 0; i < w; i++ {
+		ix := i * (n - 1) / (w - 1)
+		if len(kept) > 0 && kept[len(kept)-1] == ix {
+			continue
+		}
+		kept = append(kept, ix)
+	}
+	if kept[len(kept)-1] != n-1 {
+		kept = append(kept, n-1)
+	}
+	return kept, nil
+}
+
+func runOnline(t traj.Trajectory, w int, m errm.Measure, repair repairFunc) ([]int, error) {
+	n := len(t)
+	if err := checkArgs(n, w); err != nil {
+		return nil, err
+	}
+	if !m.Valid() {
+		return nil, fmt.Errorf("online: invalid measure %d", int(m))
+	}
+	if n <= w {
+		return allIndices(n), nil
+	}
+	buf := buffer.New(w + 1)
+	carried := make(map[*buffer.Entry]float64)
+	for i := 0; i < w; i++ {
+		buf.Append(i, t[i])
+	}
+	for e := buf.Head().Next(); e != buf.Tail(); e = e.Next() {
+		buf.SetValue(e, errm.OnlineValue(m, e.Prev().P, e.P, e.Next().P))
+	}
+	for i := w; i < n; i++ {
+		old := buf.Tail()
+		buf.Append(i, t[i])
+		buf.SetValue(old, errm.OnlineValue(m, old.Prev().P, old.P, old.Next().P)+carried[old])
+		d := buf.Min()
+		prev, next := buf.Drop(d)
+		delete(carried, d)
+		repair(buf, m, d, prev, next, carried)
+	}
+	return buf.Indices(), nil
+}
+
+func checkArgs(n, w int) error {
+	if w < 2 {
+		return fmt.Errorf("online: budget W must be >= 2, got %d", w)
+	}
+	if n < 2 {
+		return traj.ErrTooShort
+	}
+	return nil
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

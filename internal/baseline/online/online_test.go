@@ -1,0 +1,174 @@
+package online
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rlts/internal/errm"
+	"rlts/internal/gen"
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+type algo struct {
+	name string
+	run  func(traj.Trajectory, int, errm.Measure) ([]int, error)
+}
+
+func algos() []algo {
+	return []algo{
+		{"STTrace", STTrace},
+		{"SQUISH", SQUISH},
+		{"SQUISH-E", SQUISHE},
+	}
+}
+
+func testTraj(seed int64, n int) traj.Trajectory {
+	return gen.New(gen.Geolife(), seed).Trajectory(n)
+}
+
+func TestAlgorithmsProduceValidSimplifications(t *testing.T) {
+	tr := testTraj(1, 120)
+	for _, a := range algos() {
+		for _, m := range errm.Measures {
+			t.Run(a.name+"/"+m.String(), func(t *testing.T) {
+				kept, err := a.run(tr, 20, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(kept) > 20 {
+					t.Errorf("kept %d > 20", len(kept))
+				}
+				if kept[0] != 0 || kept[len(kept)-1] != len(tr)-1 {
+					t.Errorf("endpoints not kept: %v...%v", kept[0], kept[len(kept)-1])
+				}
+				if !tr.Pick(kept).IsSimplificationOf(tr) {
+					t.Error("not a valid simplification")
+				}
+			})
+		}
+	}
+}
+
+func TestShortTrajectoryKeptWhole(t *testing.T) {
+	tr := testTraj(2, 10)
+	for _, a := range algos() {
+		kept, err := a.run(tr, 20, errm.SED)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(kept) != 10 {
+			t.Errorf("%s: kept %d, want all 10", a.name, len(kept))
+		}
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	tr := testTraj(3, 50)
+	for _, a := range algos() {
+		if _, err := a.run(tr, 1, errm.SED); err == nil {
+			t.Errorf("%s: W=1 accepted", a.name)
+		}
+		if _, err := a.run(tr[:1], 5, errm.SED); err == nil {
+			t.Errorf("%s: single point accepted", a.name)
+		}
+		if _, err := a.run(tr, 5, errm.Measure(99)); err == nil {
+			t.Errorf("%s: invalid measure accepted", a.name)
+		}
+	}
+}
+
+func TestStraightLineIsFree(t *testing.T) {
+	// On a constant-velocity straight line every simplification is exact;
+	// all algorithms must achieve zero error.
+	tr := make(traj.Trajectory, 50)
+	for i := range tr {
+		tr[i] = geo.Pt(float64(i), 2*float64(i), float64(i))
+	}
+	for _, a := range algos() {
+		kept, err := a.run(tr, 5, errm.SED)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := errm.Error(errm.SED, tr, kept); e > 1e-9 {
+			t.Errorf("%s: straight line error %v, want 0", a.name, e)
+		}
+	}
+}
+
+func TestAlgorithmsDiffer(t *testing.T) {
+	// The three heuristics make different choices on a noisy trajectory;
+	// if all outputs coincide the carry logic is probably dead code.
+	tr := testTraj(5, 300)
+	outs := make([][]int, 0, 3)
+	for _, a := range algos() {
+		kept, err := a.run(tr, 30, errm.SED)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, kept)
+	}
+	same := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(outs[0], outs[1]) && same(outs[1], outs[2]) {
+		t.Error("STTrace, SQUISH and SQUISH-E produced identical output on noisy data")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	tr := testTraj(7, 100)
+	kept, err := Uniform(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) > 10 {
+		t.Errorf("kept %d > 10", len(kept))
+	}
+	if kept[0] != 0 || kept[len(kept)-1] != 99 {
+		t.Error("endpoints not kept")
+	}
+	// Short input returned whole.
+	kept, err = Uniform(tr[:5], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 5 {
+		t.Errorf("short input: kept %d", len(kept))
+	}
+	if _, err := Uniform(tr, 0); err == nil {
+		t.Error("W=0 accepted")
+	}
+}
+
+func TestBudgetRespectedProperty(t *testing.T) {
+	f := func(seed int64, wByte uint8) bool {
+		n := 30 + int(wByte%50)
+		w := 4 + int(wByte%12)
+		tr := testTraj(seed, n)
+		for _, a := range algos() {
+			kept, err := a.run(tr, w, errm.PED)
+			if err != nil {
+				return false
+			}
+			if len(kept) > w {
+				return false
+			}
+			if !tr.Pick(kept).IsSimplificationOf(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

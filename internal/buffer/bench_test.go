@@ -1,0 +1,78 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+
+	"rlts/internal/geo"
+)
+
+// BenchmarkDropInsertCycle measures one full online-mode buffer cycle at
+// budget W: append a point, value the previous tail, drop the minimum and
+// repair both neighbours — the O(log W) loop body of every scanning
+// algorithm.
+func BenchmarkDropInsertCycle(b *testing.B) {
+	for _, w := range []int{64, 1024, 16384} {
+		b.Run(itoa(w), func(b *testing.B) {
+			r := rand.New(rand.NewSource(1))
+			buf := New(w + 1)
+			for i := 0; i < w; i++ {
+				buf.Append(i, geo.Pt(r.Float64(), r.Float64(), float64(i)))
+			}
+			for e := buf.Head().Next(); e != buf.Tail(); e = e.Next() {
+				buf.SetValue(e, r.Float64())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				old := buf.Tail()
+				buf.Append(w+i, geo.Pt(r.Float64(), r.Float64(), float64(w+i)))
+				buf.SetValue(old, r.Float64())
+				d := buf.Min()
+				prev, next := buf.Drop(d)
+				if prev.Prev() != nil {
+					buf.SetValue(prev, r.Float64())
+				}
+				if next.Next() != nil {
+					buf.SetValue(next, r.Float64())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKLowest measures the state-construction cost for the paper's
+// default k=3.
+func BenchmarkKLowest(b *testing.B) {
+	for _, w := range []int{64, 1024, 16384} {
+		b.Run(itoa(w), func(b *testing.B) {
+			r := rand.New(rand.NewSource(2))
+			buf := New(w)
+			for i := 0; i < w; i++ {
+				buf.Append(i, geo.Pt(r.Float64(), r.Float64(), float64(i)))
+			}
+			for e := buf.Head().Next(); e != buf.Tail(); e = e.Next() {
+				buf.SetValue(e, r.Float64())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := buf.KLowest(3); len(got) != 3 {
+					b.Fatal("wrong k")
+				}
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return "W" + string(buf[i:])
+}

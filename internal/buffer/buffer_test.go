@@ -1,0 +1,250 @@
+package buffer
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rlts/internal/geo"
+)
+
+func fill(b *Buffer, n int) []*Entry {
+	es := make([]*Entry, n)
+	for i := 0; i < n; i++ {
+		es[i] = b.Append(i, geo.Pt(float64(i), 0, float64(i)))
+	}
+	return es
+}
+
+func TestAppendOrder(t *testing.T) {
+	b := New(8)
+	fill(b, 5)
+	if b.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", b.Size())
+	}
+	idx := b.Indices()
+	for i, ix := range idx {
+		if ix != i {
+			t.Fatalf("Indices = %v", idx)
+		}
+	}
+	if b.Head().Index != 0 || b.Tail().Index != 4 {
+		t.Error("head/tail wrong")
+	}
+	if err := b.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetValueAndMin(t *testing.T) {
+	b := New(8)
+	es := fill(b, 6)
+	vals := []float64{0, 5, 3, 8, 1, 0} // endpoints unused
+	for i := 1; i <= 4; i++ {
+		b.SetValue(es[i], vals[i])
+	}
+	if b.Droppable() != 4 {
+		t.Fatalf("Droppable = %d, want 4", b.Droppable())
+	}
+	if m := b.Min(); m != es[4] {
+		t.Errorf("Min = index %d, want 4", m.Index)
+	}
+	// Lowering a value must float it to the top.
+	b.SetValue(es[3], 0.5)
+	if m := b.Min(); m != es[3] {
+		t.Errorf("Min after update = index %d, want 3", m.Index)
+	}
+	// Raising it must sink it again.
+	b.SetValue(es[3], 99)
+	if m := b.Min(); m != es[4] {
+		t.Errorf("Min after raise = index %d, want 4", m.Index)
+	}
+	if err := b.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetValueEndpointPanics(t *testing.T) {
+	b := New(4)
+	es := fill(b, 3)
+	for _, e := range []*Entry{es[0], es[2]} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetValue on endpoint %d did not panic", e.Index)
+				}
+			}()
+			b.SetValue(e, 1)
+		}()
+	}
+}
+
+func TestDrop(t *testing.T) {
+	b := New(8)
+	es := fill(b, 5)
+	for i := 1; i <= 3; i++ {
+		b.SetValue(es[i], float64(i))
+	}
+	prev, next := b.Drop(es[2])
+	if prev != es[1] || next != es[3] {
+		t.Error("Drop neighbours wrong")
+	}
+	if b.Size() != 4 || b.Droppable() != 2 {
+		t.Errorf("Size=%d Droppable=%d", b.Size(), b.Droppable())
+	}
+	if es[2].InHeap() {
+		t.Error("dropped entry still in heap")
+	}
+	want := []int{0, 1, 3, 4}
+	for i, ix := range b.Indices() {
+		if ix != want[i] {
+			t.Fatalf("Indices = %v, want %v", b.Indices(), want)
+		}
+	}
+	if err := b.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDropEndpointPanics(t *testing.T) {
+	b := New(4)
+	es := fill(b, 3)
+	for _, e := range []*Entry{es[0], es[2]} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Drop endpoint did not panic")
+				}
+			}()
+			b.Drop(e)
+		}()
+	}
+}
+
+func TestKLowest(t *testing.T) {
+	b := New(16)
+	es := fill(b, 10)
+	vals := []float64{0, 7, 2, 9, 4, 1, 8, 3, 5, 0}
+	for i := 1; i <= 8; i++ {
+		b.SetValue(es[i], vals[i])
+	}
+	got := b.KLowest(3)
+	if len(got) != 3 {
+		t.Fatalf("KLowest len = %d", len(got))
+	}
+	wantVals := []float64{1, 2, 3}
+	for i, e := range got {
+		if e.Value() != wantVals[i] {
+			t.Fatalf("KLowest vals = [%v %v %v], want %v",
+				got[0].Value(), got[1].Value(), got[2].Value(), wantVals)
+		}
+	}
+	// Requesting more than droppable truncates.
+	if len(b.KLowest(99)) != 8 {
+		t.Errorf("KLowest(99) len = %d, want 8", len(b.KLowest(99)))
+	}
+	if b.KLowest(0) != nil {
+		t.Error("KLowest(0) should be nil")
+	}
+	// KLowest must not disturb the heap.
+	if err := b.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveTail(t *testing.T) {
+	b := New(8)
+	es := fill(b, 5)
+	for i := 1; i <= 3; i++ {
+		b.SetValue(es[i], float64(i))
+	}
+	got := b.RemoveTail()
+	if got != es[4] || b.Size() != 4 || b.Tail() != es[3] {
+		t.Errorf("RemoveTail: got index %d, size %d, tail %d", got.Index, b.Size(), b.Tail().Index)
+	}
+	// es[3] had a value; it must remain in the heap even though it is now
+	// the tail (recomputed by the caller before the next state build).
+	if !es[3].InHeap() {
+		t.Error("new tail lost its heap slot")
+	}
+	// Removing a valued tail must also clear it from the heap.
+	got = b.RemoveTail()
+	if got != es[3] || es[3].InHeap() {
+		t.Error("valued tail not removed from heap")
+	}
+	if err := b.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+	b.RemoveTail()
+	b.RemoveTail()
+	defer func() {
+		if recover() == nil {
+			t.Error("RemoveTail on single entry did not panic")
+		}
+	}()
+	b.RemoveTail()
+}
+
+func TestPoints(t *testing.T) {
+	b := New(4)
+	fill(b, 3)
+	ps := b.Points()
+	if len(ps) != 3 || ps[1].X != 1 {
+		t.Errorf("Points = %v", ps)
+	}
+}
+
+func TestRandomOpsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := New(32)
+		var live []*Entry
+		next := 0
+		for op := 0; op < 300; op++ {
+			switch {
+			case len(live) < 3 || r.Intn(3) > 0:
+				e := b.Append(next, geo.Pt(r.Float64(), r.Float64(), float64(next)))
+				next++
+				live = append(live, e)
+				// The previous tail just became interior: give it a value.
+				if len(live) >= 2 {
+					in := live[len(live)-2]
+					if in.Prev() != nil && in.Next() != nil {
+						b.SetValue(in, r.Float64()*100)
+					}
+				}
+			default:
+				// Drop a random interior entry.
+				i := 1 + r.Intn(len(live)-2)
+				b.Drop(live[i])
+				live = append(live[:i], live[i+1:]...)
+				// Repair neighbour values as an algorithm would.
+				for _, nb := range []*Entry{live[i-1], live[i]} {
+					if nb.Prev() != nil && nb.Next() != nil {
+						b.SetValue(nb, r.Float64()*100)
+					}
+				}
+			}
+			if err := b.checkInvariants(); err != nil {
+				return false
+			}
+			// KLowest(4) must agree with a sort of all droppable values.
+			k := b.KLowest(4)
+			var all []float64
+			for _, e := range b.heap {
+				all = append(all, e.Value())
+			}
+			sort.Float64s(all)
+			for i, e := range k {
+				if e.Value() != all[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+
+	"rlts/internal/buffer"
+	"rlts/internal/errm"
+	"rlts/internal/rl"
+	"rlts/internal/traj"
+)
+
+// scanEnv is the MDP of the scanning variants (RLTS, RLTS-Skip, RLTS+,
+// RLTS-Skip+): points are scanned one by one into a W-point buffer and each
+// scan forces a decision — drop one of the k cheapest buffered points
+// (making room for the incoming one) or, when J > 0, skip the next j
+// incoming points outright.
+//
+// At every scan the incoming point is appended tentatively so that the old
+// tail's value (Eq. 7) participates in the state; a skip action un-appends
+// it again. Rewards (Eq. 8) are tracked incrementally with errm.Tracker
+// and are computed only when the environment is built for training.
+type scanEnv struct {
+	opts    Options
+	t       traj.Trajectory
+	w       int
+	rewards bool
+
+	buf  *buffer.Buffer
+	trk  *errm.Tracker
+	i    int // original index currently being scanned
+	cand []*buffer.Entry
+	done bool
+}
+
+func newScanEnv(t traj.Trajectory, w int, opts Options, rewards bool) *scanEnv {
+	return &scanEnv{opts: opts, t: t, w: w, rewards: rewards}
+}
+
+// StateSize implements rl.Env.
+func (e *scanEnv) StateSize() int { return e.opts.StateSize() }
+
+// NumActions implements rl.Env.
+func (e *scanEnv) NumActions() int { return e.opts.NumActions() }
+
+// Reset implements rl.Env: it refills the buffer with the first W points
+// and scans the (W+1)-th, returning the first decision state.
+func (e *scanEnv) Reset() ([]float64, []bool, bool) {
+	e.done = false
+	e.cand = nil
+	if len(e.t) <= e.w {
+		// Nothing to drop: the whole trajectory fits the budget.
+		e.done = true
+		return nil, nil, true
+	}
+	e.buf = buffer.New(e.w + 1)
+	for i := 0; i < e.w; i++ {
+		e.buf.Append(i, e.t[i])
+	}
+	for en := e.buf.Head().Next(); en != e.buf.Tail(); en = en.Next() {
+		e.buf.SetValue(en, e.valueOf(en))
+	}
+	if e.rewards {
+		e.trk = errm.NewTracker(e.opts.Measure, e.t)
+		for i := 1; i < e.w; i++ {
+			e.trk.ExtendTo(i)
+		}
+	} else {
+		e.trk = nil
+	}
+	e.i = e.w
+	return e.scan()
+}
+
+// scan appends the point at index e.i and builds the decision state.
+func (e *scanEnv) scan() ([]float64, []bool, bool) {
+	if e.i >= len(e.t) {
+		e.done = true
+		return nil, nil, true
+	}
+	old := e.buf.Tail()
+	e.buf.Append(e.i, e.t[e.i])
+	// Eq. 7: the previous tail becomes interior; compute (or refresh, after
+	// a skip) its value.
+	e.buf.SetValue(old, e.valueOf(old))
+	if e.rewards && e.trk.Tail() != e.i {
+		e.trk.ExtendTo(e.i)
+	}
+	state, mask := e.buildState()
+	return state, mask, false
+}
+
+// valueOf computes the drop-value of an interior entry: Eq. 1 (buffer-
+// local) for the online variant, Eq. 12 (full scanned history) for the
+// batch variants.
+func (e *scanEnv) valueOf(en *buffer.Entry) float64 {
+	if e.opts.Variant == Online {
+		return errm.OnlineValue(e.opts.Measure, en.Prev().P, en.P, en.Next().P)
+	}
+	return errm.SegmentError(e.opts.Measure, e.t, en.Prev().Index, en.Next().Index)
+}
+
+// buildState assembles the k lowest values (ascending) plus, for the batch
+// Skip variants, the J look-ahead skip errors, together with the legal-
+// action mask.
+func (e *scanEnv) buildState() ([]float64, []bool) {
+	k, j := e.opts.K, e.opts.J
+	e.cand = e.buf.KLowest(k)
+	state := make([]float64, e.opts.StateSize())
+	mask := make([]bool, e.opts.NumActions())
+	var pad float64
+	if len(e.cand) > 0 {
+		pad = e.cand[len(e.cand)-1].Value()
+	}
+	for a := 0; a < k; a++ {
+		if a < len(e.cand) {
+			state[a] = e.cand[a].Value()
+			mask[a] = true
+		} else {
+			state[a] = pad
+		}
+	}
+	withFeatures := e.opts.Variant != Online && len(state) == k+j
+	tailPrev := e.buf.Tail().Prev()
+	for s := 1; s <= j; s++ {
+		// Skipping s points drops t[i..i+s-1] and continues the scan at
+		// t[i+s], which must exist.
+		legal := e.i+s <= len(e.t)-1
+		mask[k+s-1] = legal
+		if withFeatures {
+			if legal {
+				// Error of the segment the skip would create: from the old
+				// tail across everything up to the continuation point.
+				state[k+s-1] = errm.SegmentError(e.opts.Measure, e.t, tailPrev.Index, e.i+s)
+			} else if s > 1 {
+				state[k+s-1] = state[k+s-2]
+			} else {
+				state[k+s-1] = pad
+			}
+		}
+	}
+	return state, mask
+}
+
+// Step implements rl.Env.
+func (e *scanEnv) Step(action int) ([]float64, []bool, float64, bool) {
+	if e.done {
+		panic("core: Step on finished episode")
+	}
+	k := e.opts.K
+	var before float64
+	if e.rewards {
+		before = e.trk.Err()
+	}
+	switch {
+	case action < 0 || action >= e.opts.NumActions():
+		panic(fmt.Sprintf("core: action %d out of range", action))
+	case action < k:
+		if action >= len(e.cand) {
+			panic(fmt.Sprintf("core: drop action %d has no candidate (masked)", action))
+		}
+		d := e.cand[action]
+		prev, next := e.buf.Drop(d)
+		if e.rewards {
+			e.trk.Drop(d.Index)
+		}
+		e.repair(prev, next, d)
+		e.i++
+	default:
+		s := action - k + 1 // skip s points
+		if e.i+s > len(e.t)-1 {
+			panic(fmt.Sprintf("core: skip %d beyond trajectory end (masked)", s))
+		}
+		e.buf.RemoveTail() // un-append the tentatively inserted t[i]
+		if e.rewards {
+			e.trk.ExtendTo(e.i + s)
+			e.trk.Drop(e.i)
+		}
+		e.i += s
+	}
+	var reward float64
+	if e.rewards {
+		reward = before - e.trk.Err()
+	}
+	state, mask, done := e.scan()
+	return state, mask, reward, done
+}
+
+// repair refreshes the values of the two neighbours of a dropped entry.
+// In the online variant the paper's Eqs. 5-6 apply: the fresh Eq. 1 value
+// is maxed with the error of the new anchor segment w.r.t. the point just
+// dropped (the only other point of the destroyed segments that is still
+// accessible). The batch variants recompute Eq. 12 directly, which covers
+// every dropped point in the span.
+func (e *scanEnv) repair(prev, next, dropped *buffer.Entry) {
+	m := e.opts.Measure
+	if prev.Prev() != nil {
+		var v float64
+		if e.opts.Variant == Online {
+			v = errm.OnlineValue(m, prev.Prev().P, prev.P, next.P)
+			if dv := errm.OnlineValue(m, prev.Prev().P, dropped.P, next.P); dv > v {
+				v = dv
+			}
+		} else {
+			v = errm.SegmentError(m, e.t, prev.Prev().Index, next.Index)
+		}
+		e.buf.SetValue(prev, v)
+	}
+	if next.Next() != nil {
+		var v float64
+		if e.opts.Variant == Online {
+			v = errm.OnlineValue(m, prev.P, next.P, next.Next().P)
+			if dv := errm.OnlineValue(m, prev.P, dropped.P, next.Next().P); dv > v {
+				v = dv
+			}
+		} else {
+			v = errm.SegmentError(m, e.t, prev.Index, next.Next().Index)
+		}
+		e.buf.SetValue(next, v)
+	}
+}
+
+// ProgressKey implements rl.Progresser: the scan index. Episodes that
+// skipped different numbers of points align at equal trajectory
+// positions, which is what makes their returns comparable.
+func (e *scanEnv) ProgressKey() int { return e.i }
+
+// Kept returns the kept original indices after the episode finished.
+func (e *scanEnv) Kept() []int {
+	if e.buf == nil {
+		// Degenerate episode: everything kept.
+		kept := make([]int, len(e.t))
+		for i := range kept {
+			kept[i] = i
+		}
+		return kept
+	}
+	return e.buf.Indices()
+}
+
+var _ rl.Env = (*scanEnv)(nil)

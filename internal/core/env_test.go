@@ -1,0 +1,325 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rlts/internal/errm"
+	"rlts/internal/gen"
+	"rlts/internal/rl"
+	"rlts/internal/traj"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func testTraj(seed int64, n int) traj.Trajectory {
+	return gen.New(gen.Geolife(), seed).Trajectory(n)
+}
+
+// runRandom plays an episode with uniformly random legal actions and
+// returns the summed rewards and the environment.
+func runRandom(e keptEnv, r *rand.Rand) float64 {
+	state, mask, done := e.Reset()
+	_ = state
+	var total float64
+	for !done {
+		var legal []int
+		for i, ok := range mask {
+			if ok {
+				legal = append(legal, i)
+			}
+		}
+		if len(legal) == 0 {
+			panic("no legal action")
+		}
+		a := legal[r.Intn(len(legal))]
+		var reward float64
+		state, mask, reward, done = e.Step(a)
+		_ = state
+		total += reward
+	}
+	return total
+}
+
+func allOptions(j int) []Options {
+	var out []Options
+	for _, v := range []Variant{Online, Plus, PlusPlus} {
+		for _, m := range errm.Measures {
+			out = append(out, Options{Measure: m, Variant: v, K: 3, J: j})
+		}
+	}
+	return out
+}
+
+func TestEpisodeProducesValidSimplification(t *testing.T) {
+	tr := testTraj(1, 60)
+	r := rand.New(rand.NewSource(2))
+	for _, j := range []int{0, 2} {
+		for _, opts := range allOptions(j) {
+			w := 12
+			env := newEnv(tr, w, opts, false)
+			runRandom(env, r)
+			kept := env.Kept()
+			if len(kept) > w {
+				t.Errorf("%s/%v: kept %d > W %d", opts.Name(), opts.Measure, len(kept), w)
+			}
+			if kept[0] != 0 || kept[len(kept)-1] != len(tr)-1 {
+				t.Errorf("%s/%v: endpoints not kept: %v", opts.Name(), opts.Measure, kept)
+			}
+			for i := 1; i < len(kept); i++ {
+				if kept[i] <= kept[i-1] {
+					t.Fatalf("%s/%v: kept not increasing: %v", opts.Name(), opts.Measure, kept)
+				}
+			}
+		}
+	}
+}
+
+func TestRewardsTelescopeToFinalError(t *testing.T) {
+	// Eq. 9: the undiscounted reward sum must equal -eps(T'_final).
+	tr := testTraj(3, 50)
+	r := rand.New(rand.NewSource(4))
+	for _, j := range []int{0, 2} {
+		for _, opts := range allOptions(j) {
+			env := newEnv(tr, 10, opts, true)
+			total := runRandom(env, r)
+			kept := env.Kept()
+			finalErr := errm.Error(opts.Measure, tr, kept)
+			if !almost(total, -finalErr, 1e-9) {
+				t.Errorf("%s/%v: reward sum %v, want %v", opts.Name(), opts.Measure, total, -finalErr)
+			}
+		}
+	}
+}
+
+func TestScanEnvStateShape(t *testing.T) {
+	tr := testTraj(5, 40)
+	opts := Options{Measure: errm.SED, Variant: Plus, K: 3, J: 2}
+	env := newScanEnv(tr, 8, opts, false)
+	state, mask, done := env.Reset()
+	if done {
+		t.Fatal("episode done immediately")
+	}
+	if len(state) != 5 || len(mask) != 5 {
+		t.Fatalf("state/mask lengths %d/%d, want 5/5", len(state), len(mask))
+	}
+	// Values ascend over the k slots.
+	if state[0] > state[1] || state[1] > state[2] {
+		t.Errorf("state values not ascending: %v", state[:3])
+	}
+	// All drop actions legal at the start with W=8 (7 droppable).
+	for a := 0; a < 3; a++ {
+		if !mask[a] {
+			t.Errorf("drop action %d masked at start", a)
+		}
+	}
+	// Skip actions legal early in the trajectory.
+	if !mask[3] || !mask[4] {
+		t.Errorf("skip actions masked early: %v", mask)
+	}
+}
+
+func TestOnlineSkipStateStaysK(t *testing.T) {
+	opts := Options{Measure: errm.SED, Variant: Online, K: 3, J: 2}
+	if opts.StateSize() != 3 {
+		t.Errorf("online skip state size %d, want 3 (k only)", opts.StateSize())
+	}
+	if opts.NumActions() != 5 {
+		t.Errorf("actions %d, want 5", opts.NumActions())
+	}
+	optsPlus := Options{Measure: errm.SED, Variant: Plus, K: 3, J: 2}
+	if optsPlus.StateSize() != 5 {
+		t.Errorf("skip+ state size %d, want 5", optsPlus.StateSize())
+	}
+}
+
+func TestSkipMaskNearTrajectoryEnd(t *testing.T) {
+	// Drive an episode to the second-to-last scan and check skips that
+	// would pass the final point are masked.
+	tr := testTraj(7, 20)
+	opts := Options{Measure: errm.SED, Variant: Online, K: 2, J: 5}
+	env := newScanEnv(tr, 10, opts, false)
+	_, mask, done := env.Reset()
+	for !done {
+		// Take the first legal drop action to advance one point at a time.
+		a := -1
+		for i := 0; i < opts.K; i++ {
+			if mask[i] {
+				a = i
+				break
+			}
+		}
+		// Check the mask is consistent with remaining points.
+		remaining := len(tr) - 1 - env.i // points after the current scan
+		for s := 1; s <= opts.J; s++ {
+			want := s <= remaining
+			if mask[opts.K+s-1] != want {
+				t.Fatalf("at i=%d: skip %d mask = %v, want %v", env.i, s, mask[opts.K+s-1], want)
+			}
+		}
+		_, mask, _, done = env.Step(a)
+	}
+}
+
+func TestSkipActionSkipsPoints(t *testing.T) {
+	tr := testTraj(9, 30)
+	opts := Options{Measure: errm.SED, Variant: Online, K: 2, J: 3}
+	env := newScanEnv(tr, 6, opts, false)
+	_, mask, done := env.Reset()
+	if done {
+		t.Fatal("done at reset")
+	}
+	if !mask[opts.K+2] {
+		t.Fatal("skip-3 masked at start")
+	}
+	i0 := env.i
+	env.Step(opts.K + 2) // skip 3 points
+	if env.i != i0+3 {
+		t.Errorf("scan index %d after skip-3 from %d, want %d", env.i, i0, i0+3)
+	}
+	// Skipped points must never appear in the final simplification.
+	for _, ix := range env.buf.Indices() {
+		if ix > i0-1 && ix < i0+3 {
+			t.Errorf("skipped point %d still buffered", ix)
+		}
+	}
+}
+
+func TestSkipReducesDecisions(t *testing.T) {
+	tr := testTraj(11, 200)
+	r := rand.New(rand.NewSource(12))
+	opts := Options{Measure: errm.SED, Variant: Online, K: 3, J: 0}
+	env := newScanEnv(tr, 20, opts, false)
+	steps := countSteps(env, r)
+	optsSkip := opts
+	optsSkip.J = 3
+	envSkip := newScanEnv(tr, 20, optsSkip, false)
+	stepsSkip := countSteps(envSkip, r)
+	if stepsSkip >= steps {
+		t.Errorf("skip episode took %d decisions, plain %d; expected fewer", stepsSkip, steps)
+	}
+}
+
+func countSteps(e keptEnv, r *rand.Rand) int {
+	_, mask, done := e.Reset()
+	n := 0
+	for !done {
+		var legal []int
+		for i, ok := range mask {
+			if ok {
+				legal = append(legal, i)
+			}
+		}
+		a := legal[r.Intn(len(legal))]
+		_, mask, _, done = e.Step(a)
+		n++
+	}
+	return n
+}
+
+func TestFullEnvDropsToBudget(t *testing.T) {
+	tr := testTraj(13, 50)
+	r := rand.New(rand.NewSource(14))
+	for _, j := range []int{0, 2} {
+		opts := Options{Measure: errm.PED, Variant: PlusPlus, K: 3, J: j}
+		env := newFullEnv(tr, 15, opts, false)
+		runRandom(env, r)
+		if got := len(env.Kept()); got != 15 {
+			// Multi-drop skips can overshoot by at most... they are masked
+			// to never pass the budget, so exactly W is required.
+			t.Errorf("J=%d: kept %d, want exactly 15", j, got)
+		}
+	}
+}
+
+func TestFullEnvSkipMaskRespectsBudget(t *testing.T) {
+	tr := testTraj(15, 12)
+	opts := Options{Measure: errm.SED, Variant: PlusPlus, K: 2, J: 4}
+	env := newFullEnv(tr, 9, opts, false)
+	_, mask, done := env.Reset()
+	if done {
+		t.Fatal("done at reset")
+	}
+	// Budget allows dropping only 3 points; skip-4 must be masked.
+	if mask[opts.K+3] {
+		t.Error("skip-4 legal with budget 3")
+	}
+	if !mask[opts.K+2] {
+		t.Error("skip-3 masked with budget 3")
+	}
+}
+
+func TestDegenerateTrajectoryFitsBudget(t *testing.T) {
+	tr := testTraj(17, 10)
+	opts := DefaultOptions(errm.SED, Online)
+	env := newEnv(tr, 20, opts, true)
+	_, _, done := env.Reset()
+	if !done {
+		t.Fatal("expected immediate done when n <= W")
+	}
+	kept := env.Kept()
+	if len(kept) != 10 {
+		t.Errorf("kept %d, want all 10", len(kept))
+	}
+}
+
+func TestEnvResetReusable(t *testing.T) {
+	tr := testTraj(19, 40)
+	r := rand.New(rand.NewSource(20))
+	for _, opts := range []Options{
+		{Measure: errm.SED, Variant: Online, K: 3, J: 2},
+		{Measure: errm.SED, Variant: PlusPlus, K: 3, J: 2},
+	} {
+		env := newEnv(tr, 10, opts, true)
+		t1 := runRandom(env, rand.New(rand.NewSource(99)))
+		t2 := runRandom(env, rand.New(rand.NewSource(99)))
+		if !almost(t1, t2, 1e-9) {
+			t.Errorf("%s: same seed episodes differ after Reset: %v vs %v", opts.Name(), t1, t2)
+		}
+		_ = r
+	}
+}
+
+func TestKeptAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64, wByte, vByte uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + int(wByte%40)
+		tr := testTraj(seed, n)
+		w := 5 + int(wByte%10)
+		opts := Options{
+			Measure: errm.Measures[int(vByte)%4],
+			Variant: []Variant{Online, Plus, PlusPlus}[int(vByte/4)%3],
+			K:       2 + int(vByte%2),
+			J:       int(vByte % 3),
+		}
+		env := newEnv(tr, w, opts, false)
+		runRandom(env, r)
+		kept := env.Kept()
+		if len(kept) > w && n > w {
+			return false
+		}
+		sim := tr.Pick(kept)
+		return sim.IsSimplificationOf(tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnvShapesMatchRLInterface(t *testing.T) {
+	tr := testTraj(23, 30)
+	opts := Options{Measure: errm.SAD, Variant: Plus, K: 4, J: 3}
+	var env rl.Env = newEnv(tr, 8, opts, true)
+	if env.StateSize() != 7 || env.NumActions() != 7 {
+		t.Errorf("shapes %d/%d, want 7/7", env.StateSize(), env.NumActions())
+	}
+	state, mask, done := env.Reset()
+	if done {
+		t.Fatal("done at reset")
+	}
+	if len(state) != 7 || len(mask) != 7 {
+		t.Errorf("state/mask %d/%d", len(state), len(mask))
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"rlts/internal/buffer"
+	"rlts/internal/errm"
+	"rlts/internal/rl"
+	"rlts/internal/traj"
+)
+
+// fullEnv is the MDP of the ++ variants (RLTS++, RLTS-Skip++): the buffer
+// has variable size and initially holds the whole trajectory; every step
+// drops points until only W remain. States use the Eq. 12 value definition
+// over the candidate's original span.
+//
+// For RLTS-Skip++ the paper states that "an action of skipping j points
+// means dropping j points" without fixing which; we interpret it as
+// dropping the j lowest-valued points in one decision (saving j-1 state
+// constructions, which is exactly the efficiency the skip actions buy),
+// and expose the j-th lowest value as the corresponding state feature.
+// DESIGN.md records this interpretation.
+type fullEnv struct {
+	opts    Options
+	t       traj.Trajectory
+	w       int
+	rewards bool
+
+	buf  *buffer.Buffer
+	trk  *errm.Tracker
+	cand []*buffer.Entry
+	done bool
+}
+
+func newFullEnv(t traj.Trajectory, w int, opts Options, rewards bool) *fullEnv {
+	return &fullEnv{opts: opts, t: t, w: w, rewards: rewards}
+}
+
+// StateSize implements rl.Env.
+func (e *fullEnv) StateSize() int { return e.opts.StateSize() }
+
+// NumActions implements rl.Env.
+func (e *fullEnv) NumActions() int { return e.opts.NumActions() }
+
+// Reset implements rl.Env: it loads the entire trajectory into the buffer
+// and values every interior point.
+func (e *fullEnv) Reset() ([]float64, []bool, bool) {
+	e.done = false
+	e.cand = nil
+	n := len(e.t)
+	if n <= e.w {
+		e.done = true
+		return nil, nil, true
+	}
+	e.buf = buffer.New(n)
+	for i := 0; i < n; i++ {
+		e.buf.Append(i, e.t[i])
+	}
+	m := e.opts.Measure
+	for en := e.buf.Head().Next(); en != e.buf.Tail(); en = en.Next() {
+		e.buf.SetValue(en, errm.SegmentError(m, e.t, en.Prev().Index, en.Next().Index))
+	}
+	if e.rewards {
+		e.trk = errm.NewFullTracker(m, e.t)
+	} else {
+		e.trk = nil
+	}
+	state, mask := e.buildState()
+	return state, mask, false
+}
+
+func (e *fullEnv) buildState() ([]float64, []bool) {
+	k, j := e.opts.K, e.opts.J
+	need := k
+	if j > need {
+		need = j
+	}
+	e.cand = e.buf.KLowest(need)
+	state := make([]float64, e.opts.StateSize())
+	mask := make([]bool, e.opts.NumActions())
+	var pad float64
+	if len(e.cand) > 0 {
+		pad = e.cand[len(e.cand)-1].Value()
+	}
+	for a := 0; a < k; a++ {
+		if a < len(e.cand) {
+			state[a] = e.cand[a].Value()
+			mask[a] = true
+		} else {
+			state[a] = pad
+		}
+	}
+	budget := e.buf.Size() - e.w // how many more points must be dropped
+	withFeatures := len(state) == k+j
+	for s := 1; s <= j; s++ {
+		legal := s <= len(e.cand) && s <= budget
+		mask[k+s-1] = legal
+		if withFeatures {
+			if s <= len(e.cand) {
+				state[k+s-1] = e.cand[s-1].Value()
+			} else {
+				state[k+s-1] = pad
+			}
+		}
+	}
+	// A single drop must always be possible while the episode runs.
+	if budget > 0 && len(e.cand) == 0 {
+		panic("core: no droppable candidates with budget remaining")
+	}
+	return state, mask
+}
+
+// Step implements rl.Env.
+func (e *fullEnv) Step(action int) ([]float64, []bool, float64, bool) {
+	if e.done {
+		panic("core: Step on finished episode")
+	}
+	k := e.opts.K
+	var before float64
+	if e.rewards {
+		before = e.trk.Err()
+	}
+	var todo []*buffer.Entry
+	switch {
+	case action < 0 || action >= e.opts.NumActions():
+		panic(fmt.Sprintf("core: action %d out of range", action))
+	case action < k:
+		if action >= len(e.cand) {
+			panic(fmt.Sprintf("core: drop action %d has no candidate (masked)", action))
+		}
+		todo = []*buffer.Entry{e.cand[action]}
+	default:
+		s := action - k + 1
+		if s > len(e.cand) || s > e.buf.Size()-e.w {
+			panic(fmt.Sprintf("core: skip action %d illegal (masked)", s))
+		}
+		todo = e.cand[:s]
+	}
+	m := e.opts.Measure
+	for _, d := range todo {
+		prev, next := e.buf.Drop(d)
+		if e.rewards {
+			e.trk.Drop(d.Index)
+		}
+		if prev.Prev() != nil {
+			e.buf.SetValue(prev, errm.SegmentError(m, e.t, prev.Prev().Index, next.Index))
+		}
+		if next.Next() != nil {
+			e.buf.SetValue(next, errm.SegmentError(m, e.t, prev.Index, next.Next().Index))
+		}
+	}
+	var reward float64
+	if e.rewards {
+		reward = before - e.trk.Err()
+	}
+	if e.buf.Size() <= e.w {
+		e.done = true
+		return nil, nil, reward, true
+	}
+	state, mask := e.buildState()
+	return state, mask, reward, false
+}
+
+// ProgressKey implements rl.Progresser: how many points have been dropped
+// so far. Multi-drop skip actions advance it by more than one, so episodes
+// align at equal remaining-buffer sizes.
+func (e *fullEnv) ProgressKey() int { return len(e.t) - e.buf.Size() }
+
+// Kept returns the kept original indices after the episode finished.
+func (e *fullEnv) Kept() []int {
+	if e.buf == nil {
+		kept := make([]int, len(e.t))
+		for i := range kept {
+			kept[i] = i
+		}
+		return kept
+	}
+	return e.buf.Indices()
+}
+
+var _ rl.Env = (*fullEnv)(nil)
+
+// keptEnv is the common read-out interface of both environments.
+type keptEnv interface {
+	rl.Env
+	Kept() []int
+}
+
+// newEnv builds the environment matching the variant.
+func newEnv(t traj.Trajectory, w int, opts Options, rewards bool) keptEnv {
+	if opts.Variant == PlusPlus {
+		return newFullEnv(t, w, opts, rewards)
+	}
+	return newScanEnv(t, w, opts, rewards)
+}

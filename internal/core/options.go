@@ -1,0 +1,135 @@
+// Package core implements the paper's contribution: the Min-Error
+// trajectory simplification MDPs and the six RLTS algorithm variants built
+// on learned policies.
+//
+//	RLTS / RLTS-Skip        — online mode (buffer-only state, Eq. 1 values)
+//	RLTS+ / RLTS-Skip+      — batch mode (scanned-history state, Eq. 12 values)
+//	RLTS++ / RLTS-Skip++    — batch mode (variable-size buffer over all points)
+//
+// The scanning variants process a trajectory point by point with a bounded
+// buffer; at every scan the MDP state is the k lowest drop-values in the
+// buffer and an action either drops one of those k points (making room for
+// the incoming point) or — in the Skip variants — discards the next j
+// incoming points outright. The ++ variants instead start from the full
+// trajectory and repeatedly drop until the budget W is met.
+//
+// Package rl provides policy learning (REINFORCE); this package provides
+// the environments, the inference loop and the training entry points.
+package core
+
+import (
+	"fmt"
+
+	"rlts/internal/errm"
+)
+
+// Variant selects the state definition / buffer regime of the MDP.
+type Variant int
+
+const (
+	// Online is RLTS / RLTS-Skip: values are computed from buffered points
+	// only (Eq. 1), usable in both online and batch modes.
+	Online Variant = iota
+	// Plus is RLTS+ / RLTS-Skip+: values cover all scanned points
+	// (Eq. 12), so dropped points still inform the state. Batch mode only.
+	Plus
+	// PlusPlus is RLTS++ / RLTS-Skip++: a variable-size buffer holding the
+	// entire trajectory, shrunk point by point. Batch mode only.
+	PlusPlus
+)
+
+// String names the variant following the paper, without the Skip suffix
+// (the skip capability is orthogonal and reported by Options.Name).
+func (v Variant) String() string {
+	switch v {
+	case Online:
+		return "RLTS"
+	case Plus:
+		return "RLTS+"
+	case PlusPlus:
+		return "RLTS++"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// ParseVariant converts a variant name ("rlts", "rlts+", "rlts++").
+func ParseVariant(s string) (Variant, error) {
+	switch s {
+	case "rlts", "RLTS", "online":
+		return Online, nil
+	case "rlts+", "RLTS+", "plus":
+		return Plus, nil
+	case "rlts++", "RLTS++", "plusplus":
+		return PlusPlus, nil
+	}
+	return 0, fmt.Errorf("core: unknown variant %q", s)
+}
+
+// Options configures an RLTS MDP / algorithm instance.
+type Options struct {
+	Measure errm.Measure
+	Variant Variant
+	// K is the state size: the number of lowest drop-values exposed to the
+	// policy and the number of drop actions. Paper default: 3.
+	K int
+	// J is the number of skip actions; 0 disables skipping (plain RLTS).
+	// Paper default for the Skip variants: 2.
+	J int
+}
+
+// DefaultOptions returns the paper's default hyper-parameters for the
+// given measure and variant, without skipping.
+func DefaultOptions(m errm.Measure, v Variant) Options {
+	return Options{Measure: m, Variant: v, K: 3}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if !o.Measure.Valid() {
+		return fmt.Errorf("core: invalid measure %d", int(o.Measure))
+	}
+	if o.K < 1 {
+		return fmt.Errorf("core: K must be >= 1, got %d", o.K)
+	}
+	if o.J < 0 {
+		return fmt.Errorf("core: J must be >= 0, got %d", o.J)
+	}
+	switch o.Variant {
+	case Online, Plus, PlusPlus:
+	default:
+		return fmt.Errorf("core: invalid variant %d", int(o.Variant))
+	}
+	return nil
+}
+
+// Name returns the paper's name for the configured algorithm, e.g.
+// "RLTS-Skip+" for {Variant: Plus, J: 2}.
+func (o Options) Name() string {
+	base := "RLTS"
+	if o.J > 0 {
+		base = "RLTS-Skip"
+	}
+	switch o.Variant {
+	case Plus:
+		return base + "+"
+	case PlusPlus:
+		return base + "++"
+	default:
+		return base
+	}
+}
+
+// StateSize returns the policy input dimensionality: k drop-values, plus —
+// for the batch Skip variants — J look-ahead skip errors (the paper's
+// RLTS-Skip+ state augmentation).
+func (o Options) StateSize() int {
+	if o.J > 0 && o.Variant != Online {
+		return o.K + o.J
+	}
+	return o.K
+}
+
+// NumActions returns the action-space size: k drop actions plus J skip
+// actions.
+func (o Options) NumActions() int { return o.K + o.J }

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rlts/internal/rl"
+	"rlts/internal/traj"
+)
+
+// Simplify runs the configured RLTS algorithm over t with storage budget w
+// using the given policy and returns the kept original indices (always
+// including 0 and len(t)-1, with len <= max(w, 2)).
+//
+// sample selects stochastic action selection (the paper samples from the
+// policy in the online mode and takes the argmax in the batch mode). r is
+// only used when sample is true and may be nil otherwise.
+func Simplify(p *rl.Policy, t traj.Trajectory, w int, opts Options, sample bool, r *rand.Rand) ([]int, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if w < 2 {
+		return nil, fmt.Errorf("core: budget W must be >= 2, got %d", w)
+	}
+	if len(t) < 2 {
+		return nil, traj.ErrTooShort
+	}
+	if p.Spec.In != opts.StateSize() || p.Spec.Out != opts.NumActions() {
+		return nil, fmt.Errorf("core: policy shape (%d in, %d out) does not match options %s (k=%d, J=%d: want %d in, %d out)",
+			p.Spec.In, p.Spec.Out, opts.Name(), opts.K, opts.J, opts.StateSize(), opts.NumActions())
+	}
+	if sample && r == nil {
+		return nil, fmt.Errorf("core: sampling requested without a rand source")
+	}
+	env := newEnv(t, w, opts, false)
+	state, mask, done := env.Reset()
+	for !done {
+		a := p.Act(state, mask, sample, r)
+		state, mask, _, done = env.Step(a)
+	}
+	return env.Kept(), nil
+}
+
+// SimplifyRandom runs the MDP with a uniformly random policy over the
+// legal actions. It is the "random policy" arm of the paper's policy
+// ablation (§VI-B(4)), not a production simplifier.
+func SimplifyRandom(t traj.Trajectory, w int, opts Options, r *rand.Rand) ([]int, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if w < 2 {
+		return nil, fmt.Errorf("core: budget W must be >= 2, got %d", w)
+	}
+	if len(t) < 2 {
+		return nil, traj.ErrTooShort
+	}
+	env := newEnv(t, w, opts, false)
+	_, mask, done := env.Reset()
+	for !done {
+		legal := legal(mask)
+		a := legal[r.Intn(len(legal))]
+		_, mask, _, done = env.Step(a)
+	}
+	return env.Kept(), nil
+}
+
+// SimplifyFixedAction runs the MDP always taking the given action when it
+// is legal (falling back to the first legal action otherwise). With
+// action 0 this is the "always drop the minimum-value point" hand-crafted
+// rule that the learned policy is measured against in the policy ablation.
+func SimplifyFixedAction(t traj.Trajectory, w int, opts Options, action int) ([]int, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if w < 2 {
+		return nil, fmt.Errorf("core: budget W must be >= 2, got %d", w)
+	}
+	if len(t) < 2 {
+		return nil, traj.ErrTooShort
+	}
+	if action < 0 || action >= opts.NumActions() {
+		return nil, fmt.Errorf("core: fixed action %d out of range [0, %d)", action, opts.NumActions())
+	}
+	env := newEnv(t, w, opts, false)
+	_, mask, done := env.Reset()
+	for !done {
+		a := action
+		if !mask[a] {
+			a = legal(mask)[0]
+		}
+		_, mask, _, done = env.Step(a)
+	}
+	return env.Kept(), nil
+}
+
+func legal(mask []bool) []int {
+	out := make([]int, 0, len(mask))
+	for i, ok := range mask {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rlts/internal/buffer"
+	"rlts/internal/errm"
+	"rlts/internal/geo"
+	"rlts/internal/rl"
+)
+
+// Streamer is the push-based online interface of RLTS / RLTS-Skip: points
+// are fed one at a time, as a GPS sensor produces them, and the W-point
+// buffer always holds the current simplification of everything seen so
+// far. This is the deployment shape of the paper's online mode — the
+// slice-based Simplify is just this loop driven from an in-memory
+// trajectory.
+//
+// Only the Online variant is streamable: the batch variants' states need
+// access to dropped points or the whole trajectory. Skip actions work on a
+// stream too: a skip of j discards the current and the next j-1 pushed
+// points unseen. Since a stream has no known end, a skip may swallow what
+// turns out to be the final point; Snapshot therefore appends the most
+// recent point when it is not buffered, preserving the invariant that a
+// simplification ends at the last observed point.
+type Streamer struct {
+	opts   Options
+	w      int
+	p      *rl.Policy
+	sample bool
+	r      *rand.Rand
+
+	buf     *buffer.Buffer
+	n       int // points pushed so far
+	skip    int // pending pushes to drop silently
+	last    geo.Point
+	hasLast bool
+}
+
+// NewStreamer creates a streaming simplifier with buffer budget w.
+// sample selects stochastic action selection (the paper's online-mode
+// default); r may be nil when sample is false.
+func NewStreamer(p *rl.Policy, w int, opts Options, sample bool, r *rand.Rand) (*Streamer, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Variant != Online {
+		return nil, fmt.Errorf("core: only the Online variant can stream, got %s", opts.Name())
+	}
+	if w < 2 {
+		return nil, fmt.Errorf("core: budget W must be >= 2, got %d", w)
+	}
+	if p.Spec.In != opts.StateSize() || p.Spec.Out != opts.NumActions() {
+		return nil, fmt.Errorf("core: policy shape does not match options")
+	}
+	if sample && r == nil {
+		return nil, fmt.Errorf("core: sampling requested without a rand source")
+	}
+	return &Streamer{
+		opts:   opts,
+		w:      w,
+		p:      p,
+		sample: sample,
+		r:      r,
+		buf:    buffer.New(w + 1),
+	}, nil
+}
+
+// Push feeds the next point of the stream.
+func (s *Streamer) Push(pt geo.Point) {
+	s.last, s.hasLast = pt, true
+	defer func() { s.n++ }()
+	if s.skip > 0 {
+		s.skip--
+		return
+	}
+	if s.n < s.w {
+		s.buf.Append(s.n, pt)
+		// Value the point that just became interior.
+		if s.buf.Size() >= 3 {
+			in := s.buf.Tail().Prev()
+			s.buf.SetValue(in, s.value(in))
+		}
+		return
+	}
+	old := s.buf.Tail()
+	s.buf.Append(s.n, pt)
+	s.buf.SetValue(old, s.value(old))
+	state, mask := s.buildState()
+	a := s.p.Act(state, mask, s.sample, s.r)
+	if a < s.opts.K {
+		d := s.cand(a)
+		prev, next := s.buf.Drop(d)
+		s.repairOnline(prev, next, d)
+		return
+	}
+	// Skip action: drop the point just pushed and the next (a-K) points.
+	s.buf.RemoveTail()
+	s.skip = a - s.opts.K
+}
+
+// cand returns the a-th lowest-valued droppable entry of the current
+// state (recomputed; K is tiny).
+func (s *Streamer) cand(a int) *buffer.Entry {
+	return s.buf.KLowest(s.opts.K)[a]
+}
+
+func (s *Streamer) value(e *buffer.Entry) float64 {
+	return errm.OnlineValue(s.opts.Measure, e.Prev().P, e.P, e.Next().P)
+}
+
+func (s *Streamer) buildState() ([]float64, []bool) {
+	k, j := s.opts.K, s.opts.J
+	cands := s.buf.KLowest(k)
+	state := make([]float64, s.opts.StateSize())
+	mask := make([]bool, s.opts.NumActions())
+	var pad float64
+	if len(cands) > 0 {
+		pad = cands[len(cands)-1].Value()
+	}
+	for a := 0; a < k; a++ {
+		if a < len(cands) {
+			state[a] = cands[a].Value()
+			mask[a] = true
+		} else {
+			state[a] = pad
+		}
+	}
+	for sk := 1; sk <= j; sk++ {
+		mask[k+sk-1] = true // stream end unknown; see Snapshot
+	}
+	return state, mask
+}
+
+func (s *Streamer) repairOnline(prev, next, dropped *buffer.Entry) {
+	m := s.opts.Measure
+	if prev.Prev() != nil {
+		v := errm.OnlineValue(m, prev.Prev().P, prev.P, next.P)
+		if dv := errm.OnlineValue(m, prev.Prev().P, dropped.P, next.P); dv > v {
+			v = dv
+		}
+		s.buf.SetValue(prev, v)
+	}
+	if next.Next() != nil {
+		v := errm.OnlineValue(m, prev.P, next.P, next.Next().P)
+		if dv := errm.OnlineValue(m, prev.P, dropped.P, next.Next().P); dv > v {
+			v = dv
+		}
+		s.buf.SetValue(next, v)
+	}
+}
+
+// Seen returns the number of points pushed so far.
+func (s *Streamer) Seen() int { return s.n }
+
+// BufferSize returns the number of points currently buffered.
+func (s *Streamer) BufferSize() int { return s.buf.Size() }
+
+// Snapshot returns the current simplified trajectory. If the most recent
+// pushed point is not buffered (it was skipped), it is appended so the
+// snapshot always ends at the latest observation.
+func (s *Streamer) Snapshot() []geo.Point {
+	pts := s.buf.Points()
+	if s.hasLast && (len(pts) == 0 || !pts[len(pts)-1].Equal(s.last)) {
+		pts = append(pts, s.last)
+	}
+	return pts
+}

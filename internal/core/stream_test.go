@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rlts/internal/errm"
+	"rlts/internal/rl"
+)
+
+func streamPolicy(t *testing.T, opts Options) *rl.Policy {
+	t.Helper()
+	p, err := rl.NewPolicy(opts.StateSize(), opts.NumActions(), 8, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStreamerKeepsBudget(t *testing.T) {
+	opts := DefaultOptions(errm.SED, Online)
+	p := streamPolicy(t, opts)
+	s, err := NewStreamer(p, 10, opts, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTraj(31, 200)
+	for _, pt := range tr {
+		s.Push(pt)
+		if s.BufferSize() > 10 {
+			t.Fatalf("buffer grew to %d", s.BufferSize())
+		}
+	}
+	if s.Seen() != 200 {
+		t.Errorf("Seen = %d", s.Seen())
+	}
+	snap := s.Snapshot()
+	if len(snap) > 11 { // W plus possibly the appended last point
+		t.Errorf("snapshot %d points", len(snap))
+	}
+	if !snap[len(snap)-1].Equal(tr[len(tr)-1]) {
+		t.Error("snapshot does not end at the last observation")
+	}
+	if !snap[0].Equal(tr[0]) {
+		t.Error("snapshot does not start at the first observation")
+	}
+}
+
+func TestStreamerWithSkip(t *testing.T) {
+	opts := Options{Measure: errm.SED, Variant: Online, K: 3, J: 2}
+	p := streamPolicy(t, opts)
+	s, err := NewStreamer(p, 8, opts, true, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTraj(33, 300)
+	for _, pt := range tr {
+		s.Push(pt)
+	}
+	snap := s.Snapshot()
+	if len(snap) < 2 || len(snap) > 9 {
+		t.Errorf("snapshot %d points", len(snap))
+	}
+	if !snap[len(snap)-1].Equal(tr[len(tr)-1]) {
+		t.Error("snapshot does not end at the last observation")
+	}
+}
+
+func TestStreamerMatchesSimplifyWithoutSkip(t *testing.T) {
+	// Greedy, no-skip streaming must agree with the slice-based Simplify.
+	opts := DefaultOptions(errm.PED, Online)
+	p := streamPolicy(t, opts)
+	tr := testTraj(35, 120)
+	const w = 12
+	kept, err := Simplify(p, tr, w, opts, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStreamer(p, w, opts, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range tr {
+		s.Push(pt)
+	}
+	snap := s.Snapshot()
+	if len(snap) != len(kept) {
+		t.Fatalf("stream %d points, simplify %d", len(snap), len(kept))
+	}
+	for i, ix := range kept {
+		if !snap[i].Equal(tr[ix]) {
+			t.Fatalf("point %d differs: stream %v, simplify %v", i, snap[i], tr[ix])
+		}
+	}
+}
+
+func TestStreamerValidation(t *testing.T) {
+	opts := DefaultOptions(errm.SED, Online)
+	p := streamPolicy(t, opts)
+	if _, err := NewStreamer(p, 1, opts, false, nil); err == nil {
+		t.Error("W=1 accepted")
+	}
+	batchOpts := DefaultOptions(errm.SED, Plus)
+	pb := streamPolicy(t, batchOpts)
+	if _, err := NewStreamer(pb, 5, batchOpts, false, nil); err == nil {
+		t.Error("batch variant accepted for streaming")
+	}
+	if _, err := NewStreamer(p, 5, opts, true, nil); err == nil {
+		t.Error("sampling without rand accepted")
+	}
+}

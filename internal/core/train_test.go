@@ -1,0 +1,260 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rlts/internal/errm"
+	"rlts/internal/gen"
+	"rlts/internal/rl"
+	"rlts/internal/traj"
+)
+
+func smallDataset(seed int64, count, n int) []traj.Trajectory {
+	return gen.New(gen.Geolife(), seed).Dataset(count, n)
+}
+
+func quickTrainOptions() TrainOptions {
+	to := DefaultTrainOptions()
+	to.RL.Episodes = 4
+	to.RL.Seed = 7
+	return to
+}
+
+func TestTrainProducesWorkingPolicy(t *testing.T) {
+	ds := smallDataset(1, 15, 80)
+	opts := DefaultOptions(errm.SED, Online)
+	tr, res, err := Train(ds, opts, quickTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpisodesRun == 0 || res.StepsRun == 0 {
+		t.Fatalf("no training happened: %+v", res)
+	}
+	target := smallDataset(99, 1, 100)[0]
+	kept, err := tr.Simplify(target, 20, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) > 20 {
+		t.Errorf("kept %d > 20", len(kept))
+	}
+	if !target.Pick(kept).IsSimplificationOf(target) {
+		t.Error("invalid simplification")
+	}
+}
+
+func TestTrainedPolicyBeatsUntrainedPolicy(t *testing.T) {
+	// The headline claim at miniature scale: a trained policy yields lower
+	// SED error than an untrained (random-weight) policy on held-out data,
+	// both evaluated the way the paper runs the online mode (sampling).
+	ds := smallDataset(2, 40, 120)
+	opts := DefaultOptions(errm.SED, Online)
+	to := quickTrainOptions()
+	to.RL.Episodes = 10
+	to.RL.Epochs = 5
+	trained, _, err := Train(ds, opts, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	test := smallDataset(77, 15, 120)
+	const w = 12
+	evalPolicy := func(p *rl.Policy) float64 {
+		r := rand.New(rand.NewSource(5))
+		var sum float64
+		for _, tt := range test {
+			for rep := 0; rep < 5; rep++ {
+				kept, err := Simplify(p, tt, w, opts, true, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += errm.Error(errm.SED, tt, kept)
+			}
+		}
+		return sum
+	}
+	// The paper's policy ablation (§VI-B(4)): the learned policy must beat
+	// a uniform-random policy over the same action space.
+	uniformErr := func() float64 {
+		r := rand.New(rand.NewSource(5))
+		var sum float64
+		for _, tt := range test {
+			for rep := 0; rep < 5; rep++ {
+				env := newEnv(tt, w, opts, false)
+				runRandom(env, r)
+				sum += errm.Error(errm.SED, tt, env.Kept())
+			}
+		}
+		return sum
+	}()
+	trainedErr := evalPolicy(trained.Policy)
+	if trainedErr >= uniformErr {
+		t.Errorf("trained policy error %.3f not better than uniform-random %.3f", trainedErr, uniformErr)
+	}
+}
+
+func TestTrainSkipVariant(t *testing.T) {
+	ds := smallDataset(3, 10, 60)
+	opts := Options{Measure: errm.PED, Variant: Plus, K: 3, J: 2}
+	tr, _, err := Train(ds, opts, quickTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := smallDataset(88, 1, 80)[0]
+	kept, err := tr.SimplifyGreedy(target, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) > 16 {
+		t.Errorf("kept %d > 16", len(kept))
+	}
+}
+
+func TestTrainPlusPlusVariant(t *testing.T) {
+	ds := smallDataset(4, 8, 50)
+	opts := Options{Measure: errm.SED, Variant: PlusPlus, K: 3, J: 2}
+	tr, _, err := Train(ds, opts, quickTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := smallDataset(66, 1, 60)[0]
+	kept, err := tr.SimplifyGreedy(target, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 12 {
+		t.Errorf("kept %d, want exactly 12", len(kept))
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, _, err := Train(nil, DefaultOptions(errm.SED, Online), quickTrainOptions()); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	bad := DefaultOptions(errm.SED, Online)
+	bad.K = 0
+	if _, _, err := Train(smallDataset(5, 2, 50), bad, quickTrainOptions()); err == nil {
+		t.Error("K=0 accepted")
+	}
+	// All trajectories shorter than the minimum budget: unusable.
+	tiny := []traj.Trajectory{smallDataset(6, 1, 3)[0]}
+	if _, _, err := Train(tiny, DefaultOptions(errm.SED, Online), quickTrainOptions()); err == nil {
+		t.Error("dataset with no trainable trajectories accepted")
+	}
+}
+
+func TestSimplifyValidation(t *testing.T) {
+	ds := smallDataset(7, 5, 50)
+	opts := DefaultOptions(errm.SED, Online)
+	tr, _, err := Train(ds, opts, quickTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := ds[0]
+	if _, err := Simplify(tr.Policy, target, 1, opts, false, nil); err == nil {
+		t.Error("W=1 accepted")
+	}
+	if _, err := Simplify(tr.Policy, traj.Trajectory{target[0]}, 5, opts, false, nil); err == nil {
+		t.Error("single-point trajectory accepted")
+	}
+	if _, err := Simplify(tr.Policy, target, 5, opts, true, nil); err == nil {
+		t.Error("sampling without rand accepted")
+	}
+	mismatch := opts
+	mismatch.K = 5
+	if _, err := Simplify(tr.Policy, target, 5, mismatch, false, nil); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestTrainedSaveLoadRoundTrip(t *testing.T) {
+	ds := smallDataset(8, 6, 50)
+	opts := Options{Measure: errm.DAD, Variant: Plus, K: 3, J: 2}
+	tr, _, err := Train(ds, opts, quickTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := LoadTrained(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Opts != tr.Opts {
+		t.Errorf("options mismatch: %+v vs %+v", tr2.Opts, tr.Opts)
+	}
+	target := smallDataset(55, 1, 70)[0]
+	k1, err := tr.SimplifyGreedy(target, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := tr2.SimplifyGreedy(target, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k1) != len(k2) {
+		t.Fatalf("different results after round trip: %v vs %v", k1, k2)
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("different results after round trip: %v vs %v", k1, k2)
+		}
+	}
+}
+
+func TestLoadTrainedRejectsGarbage(t *testing.T) {
+	if _, err := LoadTrained(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadTrained(bytes.NewReader([]byte(`{"measure":"XYZ","variant":"rlts","k":3,"j":0,"policy":{}}`))); err == nil {
+		t.Error("bad measure accepted")
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	ds := smallDataset(9, 5, 60)
+	opts := DefaultOptions(errm.SED, Plus)
+	tr, _, err := Train(ds, opts, quickTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := smallDataset(44, 1, 80)[0]
+	a, _ := tr.SimplifyGreedy(target, 16)
+	b, _ := tr.SimplifyGreedy(target, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("greedy simplification not deterministic")
+		}
+	}
+}
+
+func TestOptionsNameAndParse(t *testing.T) {
+	tests := []struct {
+		o    Options
+		want string
+	}{
+		{Options{Variant: Online, K: 3}, "RLTS"},
+		{Options{Variant: Online, K: 3, J: 2}, "RLTS-Skip"},
+		{Options{Variant: Plus, K: 3}, "RLTS+"},
+		{Options{Variant: Plus, K: 3, J: 2}, "RLTS-Skip+"},
+		{Options{Variant: PlusPlus, K: 3}, "RLTS++"},
+		{Options{Variant: PlusPlus, K: 3, J: 2}, "RLTS-Skip++"},
+	}
+	for _, tc := range tests {
+		if got := tc.o.Name(); got != tc.want {
+			t.Errorf("Name = %q, want %q", got, tc.want)
+		}
+	}
+	for _, s := range []string{"rlts", "rlts+", "rlts++"} {
+		if _, err := ParseVariant(s); err != nil {
+			t.Errorf("ParseVariant(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseVariant("rlts+++"); err == nil {
+		t.Error("bad variant accepted")
+	}
+}

@@ -1,0 +1,187 @@
+// Package errm implements the four error measurements of the paper — SED,
+// PED, DAD and SAD — at three granularities: the error of an anchor segment
+// w.r.t. a single point, the error of a segment w.r.t. the sub-trajectory it
+// approximates, and the error of a whole simplified trajectory. It also
+// provides an incremental error tracker that maintains the trajectory error
+// across drop/extend operations, which the RL training loop uses to compute
+// rewards in amortized sub-linear time.
+package errm
+
+import (
+	"fmt"
+
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+// Measure identifies one of the four error measurements.
+type Measure int
+
+const (
+	// SED is the synchronized Euclidean distance: the distance between an
+	// original point and the time-synchronized position on its anchor
+	// segment.
+	SED Measure = iota
+	// PED is the perpendicular Euclidean distance: the distance between an
+	// original point and the closest position on its anchor segment.
+	PED
+	// DAD is the direction-aware distance: the angular difference (radians)
+	// between the anchor segment's heading and the original motion heading.
+	DAD
+	// SAD is the speed-aware distance: the absolute difference between the
+	// anchor segment's constant-speed interpretation and the original
+	// motion speed.
+	SAD
+
+	numMeasures
+)
+
+// Measures lists all supported measures in a stable order.
+var Measures = []Measure{SED, PED, DAD, SAD}
+
+// String returns the conventional upper-case name of the measure.
+func (m Measure) String() string {
+	switch m {
+	case SED:
+		return "SED"
+	case PED:
+		return "PED"
+	case DAD:
+		return "DAD"
+	case SAD:
+		return "SAD"
+	default:
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is one of the defined measures.
+func (m Measure) Valid() bool { return m >= 0 && m < numMeasures }
+
+// Parse converts a (case-insensitive) measure name to a Measure.
+func Parse(name string) (Measure, error) {
+	switch {
+	case equalFold(name, "sed"):
+		return SED, nil
+	case equalFold(name, "ped"):
+		return PED, nil
+	case equalFold(name, "dad"):
+		return DAD, nil
+	case equalFold(name, "sad"):
+		return SAD, nil
+	}
+	return 0, fmt.Errorf("errm: unknown measure %q (want SED, PED, DAD or SAD)", name)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// PointError returns eps(seg | p): the error of using the anchor segment
+// T[a]T[b] in place of the original motion at point T[i], where a <= i <= b.
+//
+// For SED and PED this is a point-to-segment distance. For DAD and SAD the
+// error is attributed to the original motion segment starting at T[i]
+// (or ending at it, when i == b), compared against the anchor segment.
+func PointError(m Measure, t traj.Trajectory, a, i, b int) float64 {
+	anchor := t.Segment(a, b)
+	switch m {
+	case SED:
+		return geo.SynchronizedDistance(anchor, t[i])
+	case PED:
+		return geo.PerpendicularDistance(anchor, t[i])
+	case DAD:
+		return geo.DirectionDistance(anchor, motionAt(t, i, b))
+	case SAD:
+		return geo.SpeedDistance(anchor, motionAt(t, i, b))
+	default:
+		panic(fmt.Sprintf("errm: invalid measure %d", int(m)))
+	}
+}
+
+// motionAt returns the original motion segment attributed to point i:
+// the segment from T[i] to T[i+1], falling back to the incoming segment
+// for the last point of the anchor span.
+func motionAt(t traj.Trajectory, i, b int) geo.Segment {
+	if i < b {
+		return t.Segment(i, i+1)
+	}
+	return t.Segment(i-1, i)
+}
+
+// SegmentError returns the error of the anchor segment T[a]T[b] w.r.t. the
+// sub-trajectory T[a..b] it approximates: the maximum error over the points
+// (for SED/PED) or original motion segments (for DAD/SAD) it covers.
+// Adjacent anchors (b == a+1) have zero error by construction.
+func SegmentError(m Measure, t traj.Trajectory, a, b int) float64 {
+	if b <= a+1 {
+		return 0
+	}
+	anchor := t.Segment(a, b)
+	var worst float64
+	switch m {
+	case SED:
+		for i := a + 1; i < b; i++ {
+			if d := geo.SynchronizedDistance(anchor, t[i]); d > worst {
+				worst = d
+			}
+		}
+	case PED:
+		for i := a + 1; i < b; i++ {
+			if d := geo.PerpendicularDistance(anchor, t[i]); d > worst {
+				worst = d
+			}
+		}
+	case DAD:
+		for i := a; i < b; i++ {
+			if d := geo.DirectionDistance(anchor, t.Segment(i, i+1)); d > worst {
+				worst = d
+			}
+		}
+	case SAD:
+		for i := a; i < b; i++ {
+			if d := geo.SpeedDistance(anchor, t.Segment(i, i+1)); d > worst {
+				worst = d
+			}
+		}
+	default:
+		panic(fmt.Sprintf("errm: invalid measure %d", int(m)))
+	}
+	return worst
+}
+
+// OnlineValue returns the buffer-local value of a candidate drop point in
+// the online mode (Eq. 1 with the paper's DAD/SAD adaptation): for SED and
+// PED it is the distance from cur to the segment prev-next; for DAD and SAD
+// it is the angular/speed difference between the two buffer segments
+// adjacent to cur, since the original successor of cur may no longer be
+// accessible online.
+func OnlineValue(m Measure, prev, cur, next geo.Point) float64 {
+	switch m {
+	case SED:
+		return geo.SynchronizedDistance(geo.Seg(prev, next), cur)
+	case PED:
+		return geo.PerpendicularDistance(geo.Seg(prev, next), cur)
+	case DAD:
+		return geo.DirectionDistance(geo.Seg(prev, cur), geo.Seg(cur, next))
+	case SAD:
+		return geo.SpeedDistance(geo.Seg(prev, cur), geo.Seg(cur, next))
+	default:
+		panic(fmt.Sprintf("errm: invalid measure %d", int(m)))
+	}
+}

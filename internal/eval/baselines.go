@@ -1,0 +1,42 @@
+package eval
+
+import (
+	baseBatch "rlts/internal/baseline/batch"
+	baseOnline "rlts/internal/baseline/online"
+	"rlts/internal/errm"
+	"rlts/internal/traj"
+)
+
+// OnlineBaselines returns the paper's online-mode competitors under
+// measure m.
+func OnlineBaselines(m errm.Measure) []Algorithm {
+	return []Algorithm{
+		{Name: "STTrace", Run: func(t traj.Trajectory, w int) ([]int, error) { return baseOnline.STTrace(t, w, m) }},
+		{Name: "SQUISH", Run: func(t traj.Trajectory, w int) ([]int, error) { return baseOnline.SQUISH(t, w, m) }},
+		{Name: "SQUISH-E", Run: func(t traj.Trajectory, w int) ([]int, error) { return baseOnline.SQUISHE(t, w, m) }},
+	}
+}
+
+// BatchBaselines returns the approximate batch-mode competitors under
+// measure m (Span-Search joins only for DAD, as in the paper).
+func BatchBaselines(m errm.Measure) []Algorithm {
+	algos := []Algorithm{
+		{Name: "Top-Down", Run: func(t traj.Trajectory, w int) ([]int, error) { return baseBatch.TopDown(t, w, m) }},
+		{Name: "Bottom-Up", Run: func(t traj.Trajectory, w int) ([]int, error) { return baseBatch.BottomUp(t, w, m) }},
+	}
+	if m == errm.DAD {
+		algos = append(algos, Algorithm{
+			Name: "Span-Search",
+			Run:  func(t traj.Trajectory, w int) ([]int, error) { return baseBatch.SpanSearch(t, w) },
+		})
+	}
+	return algos
+}
+
+// BellmanAlgorithm returns the exact DP as an Algorithm.
+func BellmanAlgorithm(m errm.Measure) Algorithm {
+	return Algorithm{
+		Name: "Bellman",
+		Run:  func(t traj.Trajectory, w int) ([]int, error) { return baseBatch.Bellman(t, w, m) },
+	}
+}

@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteCSV writes the table in machine-readable CSV form (header row from
+// Columns, then Rows), so the figure series can be re-plotted externally.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the table to <dir>/<id>.csv and returns the path.
+func (t *Table) SaveCSV(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, t.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return "", fmt.Errorf("eval: write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return path, nil
+}

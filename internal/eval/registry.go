@@ -1,0 +1,52 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a runnable reproduction of one paper table or figure.
+type Experiment struct {
+	ID    string
+	Paper string // which table/figure of the paper it regenerates
+	Run   func(*Context) (*Table, error)
+}
+
+// Experiments returns the full registry, ordered as in the paper's
+// evaluation section.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Table I (dataset statistics)", Table1},
+		{"bellman", "§VI-B(1) (vs exact Bellman)", ExpBellman},
+		{"fig3", "Figure 3 (RLTS variants)", Fig3},
+		{"fig4", "Figure 4 (effectiveness vs W)", Fig4},
+		{"policy", "§VI-B(4) (learned vs random policy)", ExpPolicy},
+		{"k", "§VI-B(5) (effect of k)", ExpK},
+		{"j", "§VI-B(6) (effect of J)", ExpJ},
+		{"fig5", "Figure 5 (efficiency vs |T|)", Fig5},
+		{"scale", "§VI-B(8) (scalability)", ExpScale},
+		{"fig6", "Figure 6 (efficiency vs W)", Fig6},
+		{"fig7", "Figure 7 (case study)", Fig7},
+		{"table2", "Table II (training time)", Table2},
+		{"fig8", "Figure 8 (training cost)", Fig8},
+		{"infer", "§VI-A ablation (sampling vs greedy inference)", ExpInference},
+		{"query", "§I motivation (query answering on simplified data)", ExpQuery},
+		{"noise", "robustness extension (GPS outliers)", ExpNoise},
+		{"storage", "§I motivation (storage cost in bytes)", ExpStorage},
+	}
+}
+
+// ExperimentByID finds an experiment by id.
+func ExperimentByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("eval: unknown experiment %q (want one of %v)", id, ids)
+}

@@ -1,0 +1,163 @@
+package gen
+
+import (
+	"testing"
+
+	"rlts/internal/traj"
+)
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := New(Geolife(), 42).Trajectory(200)
+	b := New(Geolife(), 42).Trajectory(200)
+	if !a.Equal(b) {
+		t.Error("same seed produced different trajectories")
+	}
+	c := New(Geolife(), 43).Trajectory(200)
+	if a.Equal(c) {
+		t.Error("different seeds produced identical trajectories")
+	}
+}
+
+func TestGeneratedTrajectoriesValid(t *testing.T) {
+	for _, cfg := range Profiles() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			g := New(cfg, 7)
+			for _, tr := range g.Dataset(5, 300) {
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("%s: %v", cfg.Name, err)
+				}
+				if tr.Len() != 300 {
+					t.Fatalf("%s: length %d", cfg.Name, tr.Len())
+				}
+			}
+		})
+	}
+}
+
+func TestSamplingRatesInRange(t *testing.T) {
+	for _, cfg := range Profiles() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			tr := New(cfg, 3).Trajectory(500)
+			for i := 1; i < tr.Len(); i++ {
+				gap := tr[i].T - tr[i-1].T
+				if gap < cfg.MinGap-1e-9 || gap > cfg.MaxGap+1e-9 {
+					t.Fatalf("gap %v outside [%v, %v]", gap, cfg.MinGap, cfg.MaxGap)
+				}
+			}
+		})
+	}
+}
+
+func TestDatasetStatisticsMatchTableI(t *testing.T) {
+	// Loose bands around the paper's Table I averages: the substitution
+	// only needs the right order of magnitude and regime character.
+	tests := []struct {
+		cfg              Config
+		minDist, maxDist float64
+	}{
+		{Geolife(), 2, 30},    // paper: 9.96 m
+		{TDrive(), 250, 1300}, // paper: 623 m
+		{Truck(), 25, 220},    // paper: 82.74 m
+	}
+	for _, tc := range tests {
+		t.Run(tc.cfg.Name, func(t *testing.T) {
+			g := New(tc.cfg, 11)
+			s := traj.Summarize(g.Dataset(20, 500))
+			if s.AvgDistance < tc.minDist || s.AvgDistance > tc.maxDist {
+				t.Errorf("%s avg distance %.1f outside [%v, %v]",
+					tc.cfg.Name, s.AvgDistance, tc.minDist, tc.maxDist)
+			}
+			if s.AvgSampleRate < tc.cfg.MinGap || s.AvgSampleRate > tc.cfg.MaxGap {
+				t.Errorf("%s avg gap %.1f outside config range", tc.cfg.Name, s.AvgSampleRate)
+			}
+		})
+	}
+}
+
+func TestDatasetVaried(t *testing.T) {
+	g := New(Truck(), 5)
+	ds := g.DatasetVaried(30, 100, 200)
+	if len(ds) != 30 {
+		t.Fatalf("count = %d", len(ds))
+	}
+	sawDifferent := false
+	for _, tr := range ds {
+		if tr.Len() < 100 || tr.Len() > 200 {
+			t.Fatalf("length %d outside [100, 200]", tr.Len())
+		}
+		if tr.Len() != ds[0].Len() {
+			sawDifferent = true
+		}
+	}
+	if !sawDifferent {
+		t.Error("all varied lengths identical")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"geolife", "tdrive", "truck", "T-Drive", "Trucks", "sports"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("mars-rover"); ok {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestSportsProfile(t *testing.T) {
+	tr := New(Sports(), 9).Trajectory(1000)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Sub-second sampling and sharp dynamics.
+	s := traj.Summarize([]traj.Trajectory{tr})
+	if s.AvgSampleRate > 0.25 {
+		t.Errorf("avg gap %v, want < 0.25s", s.AvgSampleRate)
+	}
+}
+
+func TestOutlierInjection(t *testing.T) {
+	clean := New(Geolife(), 5).Trajectory(2000)
+	noisy := New(Geolife().WithOutliers(0.05, 500), 5).Trajectory(2000)
+	// Outliers create large point-to-point jumps the clean data lacks.
+	jumps := func(tr traj.Trajectory) int {
+		n := 0
+		for i := 1; i < tr.Len(); i++ {
+			dx, dy := tr[i].X-tr[i-1].X, tr[i].Y-tr[i-1].Y
+			if dx*dx+dy*dy > 300*300 {
+				n++
+			}
+		}
+		return n
+	}
+	if jc, jn := jumps(clean), jumps(noisy); jn <= jc {
+		t.Errorf("outlier injection ineffective: clean %d jumps, noisy %d", jc, jn)
+	}
+}
+
+func TestTrajectoryPanicsOnTooFew(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("n=1 did not panic")
+		}
+	}()
+	New(Geolife(), 1).Trajectory(1)
+}
+
+func TestStopsProduceSlowStretches(t *testing.T) {
+	// Geolife has stops: some consecutive points should be nearly
+	// stationary (within GPS noise), giving the RL policy easy drops.
+	tr := New(Geolife(), 13).Trajectory(2000)
+	slow := 0
+	for i := 1; i < tr.Len(); i++ {
+		dx := tr[i].X - tr[i-1].X
+		dy := tr[i].Y - tr[i-1].Y
+		if dx*dx+dy*dy < 25 { // < 5 m moved
+			slow++
+		}
+	}
+	if slow < 20 {
+		t.Errorf("only %d near-stationary gaps in 2000 points; stops not working", slow)
+	}
+}

@@ -1,0 +1,44 @@
+package geo
+
+import "testing"
+
+var sinkF float64
+
+func BenchmarkDist(b *testing.B) {
+	p, q := Pt(1, 2, 0), Pt(4, 6, 10)
+	for i := 0; i < b.N; i++ {
+		sinkF = Dist(p, q)
+	}
+}
+
+func BenchmarkSynchronizedDistance(b *testing.B) {
+	s := Seg(Pt(0, 0, 0), Pt(100, 50, 60))
+	p := Pt(40, 30, 25)
+	for i := 0; i < b.N; i++ {
+		sinkF = SynchronizedDistance(s, p)
+	}
+}
+
+func BenchmarkPerpendicularDistance(b *testing.B) {
+	s := Seg(Pt(0, 0, 0), Pt(100, 50, 60))
+	p := Pt(40, 30, 25)
+	for i := 0; i < b.N; i++ {
+		sinkF = PerpendicularDistance(s, p)
+	}
+}
+
+func BenchmarkDirectionDistance(b *testing.B) {
+	s := Seg(Pt(0, 0, 0), Pt(100, 50, 60))
+	m := Seg(Pt(40, 30, 25), Pt(45, 28, 30))
+	for i := 0; i < b.N; i++ {
+		sinkF = DirectionDistance(s, m)
+	}
+}
+
+func BenchmarkSpeedDistance(b *testing.B) {
+	s := Seg(Pt(0, 0, 0), Pt(100, 50, 60))
+	m := Seg(Pt(40, 30, 25), Pt(45, 28, 30))
+	for i := 0; i < b.N; i++ {
+		sinkF = SpeedDistance(s, m)
+	}
+}

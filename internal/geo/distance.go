@@ -1,0 +1,50 @@
+package geo
+
+import "math"
+
+// PerpendicularDistance returns the shortest Euclidean distance from p's
+// location to the segment s (distance to the closest point on the segment,
+// which is the standard PED primitive).
+func PerpendicularDistance(s Segment, p Point) float64 {
+	u := s.ClosestParam(p)
+	c := Lerp(s.A, s.B, u)
+	return Dist(p, c)
+}
+
+// SynchronizedDistance returns the synchronized Euclidean distance (SED)
+// from p to the segment s: the distance between p's location and the
+// position on s synchronized to p's timestamp.
+func SynchronizedDistance(s Segment, p Point) float64 {
+	return Dist(p, s.At(p.T))
+}
+
+// AngularDifference returns the absolute difference between two headings
+// (radians), folded into [0, pi].
+func AngularDifference(a, b float64) float64 {
+	d := math.Abs(a - b)
+	d = math.Mod(d, 2*math.Pi)
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}
+
+// DirectionDistance returns the direction-aware distance (DAD primitive)
+// between the anchor segment s and the motion segment m: the angular
+// difference of their headings in [0, pi] radians. Degenerate segments
+// (zero length) contribute their 0 heading, matching the interpretation
+// that a stationary object has no preferred direction.
+func DirectionDistance(s, m Segment) float64 {
+	if s.IsDegenerate() || m.IsDegenerate() {
+		// A stationary stretch imposes no direction constraint.
+		return 0
+	}
+	return AngularDifference(s.Direction(), m.Direction())
+}
+
+// SpeedDistance returns the speed-aware distance (SAD primitive) between
+// the anchor segment s and the motion segment m: the absolute difference
+// of their constant-speed interpretations.
+func SpeedDistance(s, m Segment) float64 {
+	return math.Abs(s.Speed() - m.Speed())
+}

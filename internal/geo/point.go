@@ -1,0 +1,62 @@
+// Package geo provides the low-level spatio-temporal geometry used by the
+// trajectory simplification algorithms: points, segments, and the distance,
+// angle and speed primitives the four error measurements are built from.
+//
+// All coordinates are planar (x, y) in an arbitrary but consistent unit
+// (the paper reports errors in units of 10 m); timestamps are float64
+// seconds. The package is allocation-free on the hot paths.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a spatio-temporal point: a location (X, Y) observed at time T.
+type Point struct {
+	X, Y float64
+	T    float64
+}
+
+// Pt is a convenience constructor for a Point.
+func Pt(x, y, t float64) Point { return Point{X: x, Y: y, T: t} }
+
+// Dist returns the Euclidean distance between the locations of p and q.
+func Dist(p, q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between the locations of
+// p and q. It avoids the square root on paths that only compare distances.
+func Dist2(p, q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Equal reports whether p and q have identical coordinates and timestamps.
+func (p Point) Equal(q Point) bool {
+	return p.X == q.X && p.Y == q.Y && p.T == q.T
+}
+
+// String renders the point as "(x, y)@t".
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6g, %.6g)@%.6g", p.X, p.Y, p.T)
+}
+
+// IsFinite reports whether all fields of p are finite numbers.
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0) &&
+		!math.IsNaN(p.T) && !math.IsInf(p.T, 0)
+}
+
+// Lerp linearly interpolates between the locations of p and q with
+// parameter u in [0, 1]: u = 0 yields p's location, u = 1 yields q's.
+// The timestamp of the result is interpolated as well.
+func Lerp(p, q Point, u float64) Point {
+	return Point{
+		X: p.X + u*(q.X-p.X),
+		Y: p.Y + u*(q.Y-p.Y),
+		T: p.T + u*(q.T-p.T),
+	}
+}

@@ -1,0 +1,62 @@
+package index
+
+import (
+	"testing"
+
+	"rlts/internal/gen"
+	"rlts/internal/query"
+)
+
+// BenchmarkRangeSearch compares the indexed range query against the
+// brute-force scan it replaces.
+func BenchmarkRangeSearch(b *testing.B) {
+	f, err := NewFleet(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := gen.New(gen.Truck(), 3)
+	for i := 0; i < 100; i++ {
+		if _, err := f.Add(g.Trajectory(500)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c := f.Trajectory(0)[250]
+	r := query.Rect{MinX: c.X - 200, MinY: c.Y - 200, MaxX: c.X + 200, MaxY: c.Y + 200}
+	t1, t2 := f.Trajectory(0)[0].T, f.Trajectory(0)[499].T
+
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = f.RangeSearch(r, t1, t2)
+		}
+	})
+	b.Run("bruteforce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var out []int
+			for id := 0; id < f.Len(); id++ {
+				if query.WithinDuring(f.Trajectory(id), r, t1, t2) {
+					out = append(out, id)
+				}
+			}
+			_ = out
+		}
+	})
+}
+
+// BenchmarkNearest measures the expanding-ring nearest-trajectory query.
+func BenchmarkNearest(b *testing.B) {
+	f, err := NewFleet(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := gen.New(gen.Truck(), 4)
+	for i := 0; i < 100; i++ {
+		if _, err := f.Add(g.Trajectory(500)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := f.Trajectory(42)[100]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = f.Nearest(q)
+	}
+}

@@ -1,0 +1,204 @@
+// Package index provides a fleet store with a uniform-grid spatial index
+// over trajectory segments — the server-side substrate the paper's
+// introduction motivates: once hundreds of thousands of sensors
+// accumulate trajectories at a server, queries must not scan everything.
+// Simplified trajectories make the index smaller (fewer segments), which
+// is exactly the storage/query saving Min-Error simplification buys.
+//
+// The index answers two fleet-level queries:
+//
+//   - RangeSearch: which trajectories pass through a rectangle during a
+//     time window?
+//   - Nearest: which trajectory's path comes closest to a point?
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rlts/internal/geo"
+	"rlts/internal/query"
+	"rlts/internal/traj"
+)
+
+// Fleet is an indexed collection of trajectories. It is append-only; the
+// zero value is not usable, use NewFleet.
+type Fleet struct {
+	cell  float64
+	trajs []traj.Trajectory
+	cells map[cellKey][]segRef
+	segs  int
+}
+
+type cellKey struct{ x, y int32 }
+
+// segRef identifies segment (seg, seg+1) of trajectory traj.
+type segRef struct {
+	traj int32
+	seg  int32
+}
+
+// NewFleet creates a fleet with the given grid cell size (in coordinate
+// units; pick roughly the median segment length for balanced buckets).
+func NewFleet(cellSize float64) (*Fleet, error) {
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		return nil, fmt.Errorf("index: cell size must be positive and finite, got %v", cellSize)
+	}
+	return &Fleet{cell: cellSize, cells: make(map[cellKey][]segRef)}, nil
+}
+
+// Add indexes a trajectory and returns its fleet id.
+func (f *Fleet) Add(t traj.Trajectory) (int, error) {
+	if err := t.Validate(); err != nil {
+		return 0, fmt.Errorf("index: %w", err)
+	}
+	if len(t) < 2 {
+		return 0, traj.ErrTooShort
+	}
+	id := len(f.trajs)
+	f.trajs = append(f.trajs, t)
+	for i := 0; i+1 < len(t); i++ {
+		ref := segRef{traj: int32(id), seg: int32(i)}
+		for _, key := range f.segmentCells(t[i], t[i+1]) {
+			f.cells[key] = append(f.cells[key], ref)
+		}
+		f.segs++
+	}
+	return id, nil
+}
+
+// Len returns the number of indexed trajectories.
+func (f *Fleet) Len() int { return len(f.trajs) }
+
+// Segments returns the number of indexed segments (the index size driver).
+func (f *Fleet) Segments() int { return f.segs }
+
+// Trajectory returns the trajectory with the given fleet id.
+func (f *Fleet) Trajectory(id int) traj.Trajectory { return f.trajs[id] }
+
+// segmentCells enumerates the grid cells overlapped by the bounding box
+// of a segment. Segment-level boxes keep the walk simple; precise
+// geometry is re-checked at query time.
+func (f *Fleet) segmentCells(a, b geo.Point) []cellKey {
+	minX, maxX := math.Min(a.X, b.X), math.Max(a.X, b.X)
+	minY, maxY := math.Min(a.Y, b.Y), math.Max(a.Y, b.Y)
+	x0, x1 := f.cellOf(minX), f.cellOf(maxX)
+	y0, y1 := f.cellOf(minY), f.cellOf(maxY)
+	out := make([]cellKey, 0, (x1-x0+1)*(y1-y0+1))
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			out = append(out, cellKey{x, y})
+		}
+	}
+	return out
+}
+
+func (f *Fleet) cellOf(v float64) int32 {
+	return int32(math.Floor(v / f.cell))
+}
+
+// RangeSearch returns the ids (ascending, deduplicated) of trajectories
+// whose interpolated path enters r at any time within [t1, t2]. The grid
+// narrows the candidates; the exact check is query.WithinDuring on the
+// candidate trajectory.
+func (f *Fleet) RangeSearch(r query.Rect, t1, t2 float64) []int {
+	if t1 > t2 || len(f.trajs) == 0 {
+		return nil
+	}
+	x0, x1 := f.cellOf(r.MinX), f.cellOf(r.MaxX)
+	y0, y1 := f.cellOf(r.MinY), f.cellOf(r.MaxY)
+	seen := make(map[int32]bool)
+	var candidates []int32
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			for _, ref := range f.cells[cellKey{x, y}] {
+				if !seen[ref.traj] {
+					seen[ref.traj] = true
+					candidates = append(candidates, ref.traj)
+				}
+			}
+		}
+	}
+	var out []int
+	for _, id := range candidates {
+		if query.WithinDuring(f.trajs[id], r, t1, t2) {
+			out = append(out, int(id))
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Nearest returns the id of the trajectory whose path comes closest to q,
+// together with that distance. It expands square rings of cells around q
+// and stops once the closest found candidate is provably closer than any
+// unexplored ring. An empty fleet returns id -1.
+func (f *Fleet) Nearest(q geo.Point) (int, float64) {
+	if len(f.trajs) == 0 {
+		return -1, math.Inf(1)
+	}
+	cx, cy := f.cellOf(q.X), f.cellOf(q.Y)
+	bestID := -1
+	best := math.Inf(1)
+	checked := make(map[int32]bool)
+	maxRing := f.maxRing(cx, cy)
+	for ring := int32(0); ring <= maxRing; ring++ {
+		// Any segment in an unexplored ring is at least (ring-1) cells
+		// away; once best beats that bound we can stop.
+		if bound := float64(ring-1) * f.cell; bestID >= 0 && best <= bound {
+			break
+		}
+		for _, key := range ringCells(cx, cy, ring) {
+			for _, ref := range f.cells[key] {
+				if checked[ref.traj] {
+					continue
+				}
+				checked[ref.traj] = true
+				if d, _ := query.NearestApproach(f.trajs[ref.traj], q); d < best {
+					best = d
+					bestID = int(ref.traj)
+				}
+			}
+		}
+	}
+	return bestID, best
+}
+
+// maxRing bounds the ring expansion by the spread of populated cells.
+func (f *Fleet) maxRing(cx, cy int32) int32 {
+	var max int32
+	for key := range f.cells {
+		dx, dy := key.x-cx, key.y-cy
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		r := dx
+		if dy > r {
+			r = dy
+		}
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// ringCells enumerates the cells at Chebyshev distance exactly ring from
+// (cx, cy).
+func ringCells(cx, cy, ring int32) []cellKey {
+	if ring == 0 {
+		return []cellKey{{cx, cy}}
+	}
+	out := make([]cellKey, 0, 8*ring)
+	for x := cx - ring; x <= cx+ring; x++ {
+		out = append(out, cellKey{x, cy - ring}, cellKey{x, cy + ring})
+	}
+	for y := cy - ring + 1; y <= cy+ring-1; y++ {
+		out = append(out, cellKey{cx - ring, y}, cellKey{cx + ring, y})
+	}
+	return out
+}

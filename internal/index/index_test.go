@@ -1,0 +1,175 @@
+package index
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rlts/internal/gen"
+	"rlts/internal/geo"
+	"rlts/internal/query"
+	"rlts/internal/traj"
+)
+
+func testFleet(t *testing.T, count, n int) *Fleet {
+	t.Helper()
+	f, err := NewFleet(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.New(gen.Truck(), 7)
+	for i := 0; i < count; i++ {
+		if _, err := f.Add(g.Trajectory(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestNewFleetValidation(t *testing.T) {
+	for _, bad := range []float64{0, -5, math.NaN(), math.Inf(1)} {
+		if _, err := NewFleet(bad); err == nil {
+			t.Errorf("cell size %v accepted", bad)
+		}
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	f, _ := NewFleet(10)
+	if _, err := f.Add(traj.Trajectory{geo.Pt(0, 0, 0)}); err == nil {
+		t.Error("single-point trajectory accepted")
+	}
+	bad := traj.Trajectory{geo.Pt(0, 0, 5), geo.Pt(1, 1, 1)}
+	if _, err := f.Add(bad); err == nil {
+		t.Error("unordered trajectory accepted")
+	}
+	id, err := f.Add(traj.Trajectory{geo.Pt(0, 0, 0), geo.Pt(1, 1, 1)})
+	if err != nil || id != 0 {
+		t.Errorf("Add = %d, %v", id, err)
+	}
+	if f.Len() != 1 || f.Segments() != 1 {
+		t.Errorf("Len=%d Segments=%d", f.Len(), f.Segments())
+	}
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	f := testFleet(t, 20, 150)
+	// Probe rectangles centered on points of member trajectories.
+	for probe := 0; probe < 20; probe++ {
+		tr := f.Trajectory(probe % f.Len())
+		c := tr[(probe*37)%len(tr)]
+		r := query.Rect{MinX: c.X - 150, MinY: c.Y - 150, MaxX: c.X + 150, MaxY: c.Y + 150}
+		t1, t2 := tr[0].T, tr[len(tr)-1].T
+		got := f.RangeSearch(r, t1, t2)
+		var want []int
+		for id := 0; id < f.Len(); id++ {
+			if query.WithinDuring(f.Trajectory(id), r, t1, t2) {
+				want = append(want, id)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("probe %d: got %v, want %v", probe, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("probe %d: got %v, want %v", probe, got, want)
+			}
+		}
+		// The probed trajectory itself must be found.
+		found := false
+		for _, id := range got {
+			if id == probe%f.Len() {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("probe %d: own trajectory not found", probe)
+		}
+	}
+}
+
+func TestRangeSearchEmptyCases(t *testing.T) {
+	f := testFleet(t, 3, 50)
+	r := query.Rect{MinX: 1e9, MinY: 1e9, MaxX: 1e9 + 1, MaxY: 1e9 + 1}
+	if got := f.RangeSearch(r, 0, 1e9); got != nil {
+		t.Errorf("far rect found %v", got)
+	}
+	if got := f.RangeSearch(query.Rect{}, 5, 1); got != nil {
+		t.Errorf("inverted window found %v", got)
+	}
+	empty, _ := NewFleet(10)
+	if got := empty.RangeSearch(query.Rect{MaxX: 1, MaxY: 1}, 0, 1); got != nil {
+		t.Errorf("empty fleet found %v", got)
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	f := testFleet(t, 15, 100)
+	probes := []geo.Point{
+		f.Trajectory(3)[40],
+		geo.Pt(0, 0, 0),
+		geo.Pt(5000, -3000, 0),
+	}
+	for _, q := range probes {
+		gotID, gotD := f.Nearest(q)
+		wantID, wantD := -1, math.Inf(1)
+		for id := 0; id < f.Len(); id++ {
+			if d, _ := query.NearestApproach(f.Trajectory(id), q); d < wantD {
+				wantID, wantD = id, d
+			}
+		}
+		if math.Abs(gotD-wantD) > 1e-9 {
+			t.Errorf("Nearest(%v) dist = %v (id %d), brute force %v (id %d)",
+				q, gotD, gotID, wantD, wantID)
+		}
+	}
+	empty, _ := NewFleet(10)
+	if id, d := empty.Nearest(geo.Pt(0, 0, 0)); id != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty fleet Nearest = %d, %v", id, d)
+	}
+}
+
+func TestNearestProperty(t *testing.T) {
+	fl := testFleet(t, 10, 60)
+	f := func(xRaw, yRaw int16) bool {
+		q := geo.Pt(float64(xRaw), float64(yRaw), 0)
+		gotID, gotD := fl.Nearest(q)
+		if gotID < 0 {
+			return false
+		}
+		for id := 0; id < fl.Len(); id++ {
+			if d, _ := query.NearestApproach(fl.Trajectory(id), q); d < gotD-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifiedFleetShrinksIndex(t *testing.T) {
+	// The motivation: simplification shrinks the index.
+	g := gen.New(gen.Truck(), 9)
+	raw, _ := NewFleet(100)
+	simp, _ := NewFleet(100)
+	for i := 0; i < 5; i++ {
+		tr := g.Trajectory(200)
+		if _, err := raw.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+		idx := make([]int, 0, 20)
+		for j := 0; j < 200; j += 10 {
+			idx = append(idx, j)
+		}
+		idx = append(idx, 199)
+		if _, err := simp.Add(tr.Pick(idx)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if simp.Segments() >= raw.Segments()/5 {
+		t.Errorf("simplified index has %d segments vs raw %d — expected ~10x fewer",
+			simp.Segments(), raw.Segments())
+	}
+}

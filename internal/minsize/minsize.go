@@ -1,0 +1,145 @@
+// Package minsize solves the dual of the paper's Min-Error problem:
+// given an error bound, keep as few points as possible such that the
+// simplified trajectory's error stays within the bound. The paper reviews
+// this dual (§II) and excludes binary-search adaptations from its
+// comparison on complexity grounds; the package provides both forms as a
+// library extension:
+//
+//   - Greedy: one-pass maximal span extension, the classic online-style
+//     dual algorithm. Fast, not size-optimal.
+//   - Optimal: dynamic programming over feasible anchor segments,
+//     size-optimal, quadratic-to-cubic time — for short trajectories and
+//     for validating Greedy.
+//   - SearchBudget: binary search over W delegating to any Min-Error
+//     simplifier, the adaptation the paper mentions.
+package minsize
+
+import (
+	"fmt"
+
+	"rlts/internal/errm"
+	"rlts/internal/traj"
+)
+
+func check(t traj.Trajectory, bound float64, m errm.Measure) error {
+	if len(t) < 2 {
+		return traj.ErrTooShort
+	}
+	if bound < 0 {
+		return fmt.Errorf("minsize: negative error bound %v", bound)
+	}
+	if !m.Valid() {
+		return fmt.Errorf("minsize: invalid measure %d", int(m))
+	}
+	return nil
+}
+
+// Greedy returns a simplification with error <= bound by extending each
+// anchor segment as far as it stays feasible. The result keeps both
+// endpoints; its size is not optimal but is at most twice-ish the optimum
+// in practice.
+func Greedy(t traj.Trajectory, bound float64, m errm.Measure) ([]int, error) {
+	if err := check(t, bound, m); err != nil {
+		return nil, err
+	}
+	n := len(t)
+	kept := []int{0}
+	a := 0
+	for a < n-1 {
+		b := a + 1
+		for b < n-1 && errm.SegmentError(m, t, a, b+1) <= bound {
+			b++
+		}
+		kept = append(kept, b)
+		a = b
+	}
+	return kept, nil
+}
+
+// Optimal returns a minimum-size simplification with error <= bound via
+// dynamic programming: d[i] = the fewest kept points for T[0..i] ending
+// at i, taking any feasible predecessor. O(n^2) feasibility checks, each
+// an O(span) segment-error scan.
+func Optimal(t traj.Trajectory, bound float64, m errm.Measure) ([]int, error) {
+	if err := check(t, bound, m); err != nil {
+		return nil, err
+	}
+	n := len(t)
+	const inf = int(^uint(0) >> 1)
+	d := make([]int, n)
+	parent := make([]int, n)
+	for i := range d {
+		d[i] = inf
+		parent[i] = -1
+	}
+	d[0] = 1
+	for i := 1; i < n; i++ {
+		for l := i - 1; l >= 0; l-- {
+			if d[l] == inf {
+				continue
+			}
+			if errm.SegmentError(m, t, l, i) > bound {
+				continue
+			}
+			if d[l]+1 < d[i] {
+				d[i] = d[l] + 1
+				parent[i] = l
+			}
+		}
+	}
+	if d[n-1] == inf {
+		// Adjacent segments always have zero error, so this cannot happen
+		// with a non-negative bound — defend anyway.
+		return nil, fmt.Errorf("minsize: no feasible simplification (bound %v)", bound)
+	}
+	kept := make([]int, 0, d[n-1])
+	for i := n - 1; i >= 0; i = parent[i] {
+		kept = append(kept, i)
+		if parent[i] == -1 {
+			break
+		}
+	}
+	for l, r := 0, len(kept)-1; l < r; l, r = l+1, r-1 {
+		kept[l], kept[r] = kept[r], kept[l]
+	}
+	return kept, nil
+}
+
+// MinErrorFunc is any Min-Error simplifier (budget in, kept indices out).
+type MinErrorFunc func(t traj.Trajectory, w int) ([]int, error)
+
+// SearchBudget finds the smallest budget W whose Min-Error simplification
+// by f has error <= bound, via binary search over W — the adaptation of
+// Min-Error algorithms the paper's related work describes. It requires f
+// to be error-monotone in W (true for the well-behaved heuristics;
+// near-true for sampled RLTS policies).
+func SearchBudget(t traj.Trajectory, bound float64, m errm.Measure, f MinErrorFunc) ([]int, error) {
+	if err := check(t, bound, m); err != nil {
+		return nil, err
+	}
+	n := len(t)
+	lo, hi := 2, n
+	var best []int
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		kept, err := f(t, mid)
+		if err != nil {
+			return nil, err
+		}
+		if errm.Error(m, t, kept) <= bound {
+			best = kept
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		// W = n always succeeds (identity simplification, error 0).
+		kept := make([]int, n)
+		for i := range kept {
+			kept[i] = i
+		}
+		return kept, nil
+	}
+	return best, nil
+}

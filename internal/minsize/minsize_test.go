@@ -1,0 +1,141 @@
+package minsize
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rlts/internal/baseline/batch"
+	"rlts/internal/errm"
+	"rlts/internal/gen"
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+func testTraj(seed int64, n int) traj.Trajectory {
+	return gen.New(gen.Geolife(), seed).Trajectory(n)
+}
+
+func TestGreedyRespectsBound(t *testing.T) {
+	tr := testTraj(1, 200)
+	for _, m := range errm.Measures {
+		for _, bound := range []float64{0.5, 2, 10} {
+			kept, err := Greedy(tr, bound, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := errm.Error(m, tr, kept); e > bound+1e-9 {
+				t.Errorf("%v bound %v: error %v exceeds bound", m, bound, e)
+			}
+			if !tr.Pick(kept).IsSimplificationOf(tr) {
+				t.Errorf("%v: invalid simplification", m)
+			}
+		}
+	}
+}
+
+func TestOptimalRespectsBoundAndBeatsGreedy(t *testing.T) {
+	tr := testTraj(2, 80)
+	for _, bound := range []float64{1, 5, 20} {
+		opt, err := Optimal(tr, bound, errm.SED)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := errm.Error(errm.SED, tr, opt); e > bound+1e-9 {
+			t.Errorf("bound %v: optimal error %v exceeds bound", bound, e)
+		}
+		gr, err := Greedy(tr, bound, errm.SED)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(opt) > len(gr) {
+			t.Errorf("bound %v: optimal kept %d > greedy %d", bound, len(opt), len(gr))
+		}
+	}
+}
+
+func TestZeroBoundOnStraightLine(t *testing.T) {
+	// A constant-velocity line is exactly representable by its endpoints
+	// even at bound 0. 33 points make the interpolation parameter i/32
+	// dyadic, so the synchronized positions are exact in floating point.
+	tr := make(traj.Trajectory, 33)
+	for i := range tr {
+		tr[i] = geo.Pt(float64(i), float64(2*i), float64(i))
+	}
+	kept, err := Optimal(tr, 0, errm.SED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 {
+		t.Errorf("optimal kept %d, want 2", len(kept))
+	}
+	// Greedy checks every intermediate prefix segment, whose interpolation
+	// parameters are not all dyadic — give it an epsilon bound for the
+	// float dust.
+	kept, err = Greedy(tr, 1e-9, errm.SED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 {
+		t.Errorf("greedy kept %d, want 2", len(kept))
+	}
+}
+
+func TestLargerBoundNeverKeepsMoreProperty(t *testing.T) {
+	f := func(seed int64, b1, b2 uint8) bool {
+		tr := testTraj(seed, 60)
+		lo, hi := float64(b1)/8, float64(b2)/8
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		kl, err := Optimal(tr, lo, errm.PED)
+		if err != nil {
+			return false
+		}
+		kh, err := Optimal(tr, hi, errm.PED)
+		if err != nil {
+			return false
+		}
+		return len(kh) <= len(kl)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchBudget(t *testing.T) {
+	tr := testTraj(3, 150)
+	const bound = 5.0
+	kept, err := SearchBudget(tr, bound, errm.SED, func(t traj.Trajectory, w int) ([]int, error) {
+		return batch.BottomUp(t, w, errm.SED)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := errm.Error(errm.SED, tr, kept); e > bound+1e-9 {
+		t.Errorf("error %v exceeds bound", e)
+	}
+	// A much tighter budget must violate the bound (otherwise the search
+	// would have found it): sanity that the search is minimal-ish.
+	if len(kept) > 4 {
+		tighter, err := batch.BottomUp(tr, len(kept)-3, errm.SED)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errm.Error(errm.SED, tr, tighter) <= bound {
+			t.Errorf("budget %d also satisfies the bound; search not minimal", len(kept)-3)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tr := testTraj(4, 30)
+	if _, err := Greedy(tr, -1, errm.SED); err == nil {
+		t.Error("negative bound accepted")
+	}
+	if _, err := Optimal(tr[:1], 1, errm.SED); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Greedy(tr, 1, errm.Measure(9)); err == nil {
+		t.Error("bad measure accepted")
+	}
+}

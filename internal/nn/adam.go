@@ -1,0 +1,74 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam stochastic optimizer (Kingma & Ba) over a set
+// of parameters. The paper trains with Adam at learning rate 1e-3.
+type Adam struct {
+	LR       float64
+	Beta1    float64
+	Beta2    float64
+	Eps      float64
+	params   []*Param
+	m, v     [][]float64
+	t        int
+	maximize bool
+}
+
+// NewAdam creates an optimizer for the given parameters with the standard
+// hyper-parameters (beta1 0.9, beta2 0.999, eps 1e-8).
+func NewAdam(params []*Param, lr float64) *Adam {
+	a := &Adam{
+		LR:     lr,
+		Beta1:  0.9,
+		Beta2:  0.999,
+		Eps:    1e-8,
+		params: params,
+		m:      make([][]float64, len(params)),
+		v:      make([][]float64, len(params)),
+	}
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p.Val))
+		a.v[i] = make([]float64, len(p.Val))
+	}
+	return a
+}
+
+// NewAdamAscent creates an Adam optimizer that performs gradient *ascent*,
+// which is what the REINFORCE objective (maximize expected return) wants
+// when gradients of the performance measure are accumulated directly.
+func NewAdamAscent(params []*Param, lr float64) *Adam {
+	a := NewAdam(params, lr)
+	a.maximize = true
+	return a
+}
+
+// Step applies one Adam update from the accumulated gradients and clears
+// them. scale divides the gradients first (use it to average over an
+// episode's steps).
+func (a *Adam) Step(scale float64) {
+	if scale == 0 {
+		scale = 1
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.Val {
+			g := p.Grad[j] / scale
+			if a.maximize {
+				g = -g
+			}
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / c1
+			vh := v[j] / c2
+			p.Val[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+			p.Grad[j] = 0
+		}
+	}
+}
+
+// StepCount returns how many optimizer steps have been applied.
+func (a *Adam) StepCount() int { return a.t }

@@ -1,0 +1,150 @@
+// Package nn is a small, dependency-free neural network substrate: dense
+// layers, tanh/relu activations, batch normalization, softmax, Xavier
+// initialization, the Adam optimizer and JSON serialization.
+//
+// It replaces the TensorFlow 1.8 stack used by the paper. The policy
+// networks in this system are tiny (input k or k+J, one hidden layer of 20
+// units, softmax output), so a straightforward single-sample forward /
+// backward implementation on float64 slices is both sufficient and fast.
+// Gradients are accumulated across the steps of an episode and applied in
+// one optimizer step, exactly as the REINFORCE update (Eq. 11) requires.
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Param is a named tensor of trainable values with its accumulated
+// gradient. All tensors are flat float64 slices; shape is the owning
+// layer's concern.
+type Param struct {
+	Name string
+	Val  []float64
+	Grad []float64
+}
+
+func newParam(name string, n int) *Param {
+	return &Param{Name: name, Val: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// Layer is one differentiable stage of a network. Forward caches whatever
+// Backward needs, so calls must be paired: Forward(x) then Backward(grad)
+// before the next Forward. Backward adds into the layer's parameter
+// gradients and returns the gradient w.r.t. its input.
+type Layer interface {
+	Forward(x []float64, train bool) []float64
+	Backward(grad []float64) []float64
+	Params() []*Param
+	// OutSize returns the length of the layer's output given its
+	// configured input size.
+	OutSize() int
+}
+
+// Network is a sequential stack of layers producing logits.
+type Network struct {
+	Layers []Layer
+}
+
+// Forward runs x through all layers. train selects training-time behaviour
+// (e.g. batch-norm statistics updates).
+func (n *Network) Forward(x []float64, train bool) []float64 {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the gradient of the loss w.r.t. the network output
+// back through all layers, accumulating parameter gradients.
+func (n *Network) Backward(grad []float64) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+}
+
+// Params returns all trainable parameters of the network.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// NumParams returns the total number of trainable scalars.
+func (n *Network) NumParams() int {
+	var c int
+	for _, p := range n.Params() {
+		c += len(p.Val)
+	}
+	return c
+}
+
+// Softmax writes the softmax of logits into a new slice, using the
+// max-subtraction trick for numerical stability.
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	max := math.Inf(-1)
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// MaskedSoftmax is Softmax restricted to the actions where mask[i] is
+// true; masked-out entries get probability 0. It panics if no action is
+// legal.
+func MaskedSoftmax(logits []float64, mask []bool) []float64 {
+	out := make([]float64, len(logits))
+	max := math.Inf(-1)
+	any := false
+	for i, v := range logits {
+		if mask[i] && v > max {
+			max = v
+			any = true
+		}
+	}
+	if !any {
+		panic("nn: MaskedSoftmax with no legal action")
+	}
+	var sum float64
+	for i, v := range logits {
+		if !mask[i] {
+			continue
+		}
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func checkLen(name string, got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("nn: %s length %d, want %d", name, got, want))
+	}
+}

@@ -1,0 +1,37 @@
+package nn
+
+// SGD is plain stochastic gradient descent with optional momentum,
+// provided as the ablation counterpart to Adam (the paper chose Adam
+// "based on empirical findings"; this makes the comparison runnable).
+type SGD struct {
+	LR       float64
+	Momentum float64
+	params   []*Param
+	velocity [][]float64
+}
+
+// NewSGD creates the optimizer. momentum 0 gives vanilla SGD.
+func NewSGD(params []*Param, lr, momentum float64) *SGD {
+	s := &SGD{LR: lr, Momentum: momentum, params: params, velocity: make([][]float64, len(params))}
+	for i, p := range params {
+		s.velocity[i] = make([]float64, len(p.Val))
+	}
+	return s
+}
+
+// Step applies one update from the accumulated gradients and clears them.
+// scale divides the gradients first (averaging over a batch).
+func (s *SGD) Step(scale float64) {
+	if scale == 0 {
+		scale = 1
+	}
+	for i, p := range s.params {
+		v := s.velocity[i]
+		for j := range p.Val {
+			g := p.Grad[j] / scale
+			v[j] = s.Momentum*v[j] - s.LR*g
+			p.Val[j] += v[j]
+			p.Grad[j] = 0
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package query
+
+import (
+	"testing"
+
+	"rlts/internal/gen"
+	"rlts/internal/geo"
+)
+
+var (
+	sinkF float64
+	sinkB bool
+	sinkP geo.Point
+)
+
+func BenchmarkPositionAt(b *testing.B) {
+	t := gen.New(gen.Geolife(), 1).Trajectory(10000)
+	mid := (t[0].T + t[len(t)-1].T) / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkP = PositionAt(t, mid)
+	}
+}
+
+func BenchmarkWithinDuring(b *testing.B) {
+	t := gen.New(gen.Geolife(), 1).Trajectory(10000)
+	c := PositionAt(t, (t[0].T+t[len(t)-1].T)/2)
+	r := Rect{c.X - 100, c.Y - 100, c.X + 100, c.Y + 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkB = WithinDuring(t, r, t[0].T, t[len(t)-1].T)
+	}
+}
+
+func BenchmarkNearestApproach(b *testing.B) {
+	t := gen.New(gen.Geolife(), 1).Trajectory(10000)
+	q := geo.Pt(500, 500, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF, _ = NearestApproach(t, q)
+	}
+}
+
+func BenchmarkDTW(b *testing.B) {
+	a := gen.New(gen.Geolife(), 1).Trajectory(200)
+	c := gen.New(gen.Geolife(), 2).Trajectory(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF = DTW(a, c)
+	}
+}
+
+func BenchmarkDiscreteFrechet(b *testing.B) {
+	a := gen.New(gen.Geolife(), 1).Trajectory(200)
+	c := gen.New(gen.Geolife(), 2).Trajectory(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF = DiscreteFrechet(a, c)
+	}
+}

@@ -1,0 +1,221 @@
+// Package query implements the trajectory query workloads that motivate
+// simplification in the first place (the paper's introduction: lowering
+// storage cost "and more importantly" the cost of query processing).
+// Queries run identically on raw and simplified trajectories, which lets
+// the evaluation harness measure how much answer quality a given
+// simplification sacrifices:
+//
+//   - PositionAt: where was the object at time ts?
+//   - Rect range queries: was the object inside a region during a window?
+//   - NearestApproach: when and how close did the object come to a point?
+//   - Similarity: DTW and discrete Fréchet distances between trajectories.
+package query
+
+import (
+	"math"
+	"sort"
+
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+// PositionAt returns the interpolated position of the object at time ts,
+// clamped to the trajectory's time span. It assumes (and exploits) the
+// constant-speed-per-segment interpretation the error measures use.
+// The cost is O(log n).
+func PositionAt(t traj.Trajectory, ts float64) geo.Point {
+	n := len(t)
+	if n == 0 {
+		return geo.Point{}
+	}
+	if ts <= t[0].T {
+		return t[0]
+	}
+	if ts >= t[n-1].T {
+		return t[n-1]
+	}
+	// First index with T >= ts.
+	i := sort.Search(n, func(i int) bool { return t[i].T >= ts })
+	return geo.Seg(t[i-1], t[i]).At(ts)
+}
+
+// Rect is an axis-aligned spatial region.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether the location of p lies in the rectangle
+// (inclusive).
+func (r Rect) Contains(p geo.Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// SegmentIntersects reports whether the segment a-b passes through the
+// rectangle, via Cohen-Sutherland style outcode rejection plus a
+// parametric (Liang-Barsky) clip for the diagonal cases.
+func (r Rect) SegmentIntersects(a, b geo.Point) bool {
+	if r.Contains(a) || r.Contains(b) {
+		return true
+	}
+	// Trivial rejection: both endpoints strictly on the same outside.
+	if (a.X < r.MinX && b.X < r.MinX) || (a.X > r.MaxX && b.X > r.MaxX) ||
+		(a.Y < r.MinY && b.Y < r.MinY) || (a.Y > r.MaxY && b.Y > r.MaxY) {
+		return false
+	}
+	// Liang-Barsky clip of the parametric segment against the slab.
+	dx, dy := b.X-a.X, b.Y-a.Y
+	u0, u1 := 0.0, 1.0
+	clip := func(p, q float64) bool {
+		if p == 0 {
+			return q >= 0
+		}
+		u := q / p
+		if p < 0 {
+			if u > u1 {
+				return false
+			}
+			if u > u0 {
+				u0 = u
+			}
+		} else {
+			if u < u0 {
+				return false
+			}
+			if u < u1 {
+				u1 = u
+			}
+		}
+		return true
+	}
+	return clip(-dx, a.X-r.MinX) && clip(dx, r.MaxX-a.X) &&
+		clip(-dy, a.Y-r.MinY) && clip(dy, r.MaxY-a.Y) && u0 <= u1
+}
+
+// WithinDuring reports whether the object's (interpolated) path enters
+// the rectangle at any time within [t1, t2].
+func WithinDuring(t traj.Trajectory, r Rect, t1, t2 float64) bool {
+	n := len(t)
+	if n == 0 || t1 > t2 {
+		return false
+	}
+	if n == 1 {
+		return t[0].T >= t1 && t[0].T <= t2 && r.Contains(t[0])
+	}
+	// Clip the time window to the trajectory span and walk the segments
+	// that overlap it.
+	start := sort.Search(n, func(i int) bool { return t[i].T >= t1 })
+	if start > 0 {
+		start--
+	}
+	for i := start; i < n-1; i++ {
+		if t[i].T > t2 {
+			break
+		}
+		// Restrict the segment to the queried time window.
+		s := geo.Seg(t[i], t[i+1])
+		a, b := s.A, s.B
+		if a.T < t1 {
+			a = s.At(t1)
+		}
+		if b.T > t2 {
+			b = s.At(t2)
+		}
+		if b.T < t1 || a.T > t2 {
+			continue
+		}
+		if r.SegmentIntersects(a, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// NearestApproach returns the minimum distance from the (interpolated)
+// path of t to the query location q, and the time at which it occurs.
+func NearestApproach(t traj.Trajectory, q geo.Point) (dist, at float64) {
+	n := len(t)
+	if n == 0 {
+		return math.Inf(1), 0
+	}
+	best := geo.Dist(t[0], q)
+	bestT := t[0].T
+	for i := 0; i+1 < n; i++ {
+		s := geo.Seg(t[i], t[i+1])
+		u := s.ClosestParam(q)
+		c := geo.Lerp(s.A, s.B, u)
+		if d := geo.Dist(c, q); d < best {
+			best = d
+			bestT = c.T
+		}
+	}
+	return best, bestT
+}
+
+// DTW returns the dynamic-time-warping distance between the point
+// sequences of a and b under Euclidean ground distance. O(len(a)*len(b))
+// time, O(min) memory.
+func DTW(a, b traj.Trajectory) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	m := len(b)
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	for j := range prev {
+		d := geo.Dist(a[0], b[j])
+		if j == 0 {
+			prev[j] = d
+		} else {
+			prev[j] = prev[j-1] + d
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		for j := 0; j < m; j++ {
+			d := geo.Dist(a[i], b[j])
+			switch {
+			case j == 0:
+				cur[j] = prev[0] + d
+			default:
+				cur[j] = d + math.Min(prev[j], math.Min(prev[j-1], cur[j-1]))
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}
+
+// DiscreteFrechet returns the discrete Fréchet distance (the classic
+// coupled-walk bottleneck distance) between a and b. O(len(a)*len(b)).
+func DiscreteFrechet(a, b traj.Trajectory) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	m := len(b)
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	for j := range prev {
+		d := geo.Dist(a[0], b[j])
+		if j == 0 {
+			prev[j] = d
+		} else {
+			prev[j] = math.Max(prev[j-1], d)
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		for j := 0; j < m; j++ {
+			d := geo.Dist(a[i], b[j])
+			switch {
+			case j == 0:
+				cur[j] = math.Max(prev[0], d)
+			default:
+				reach := math.Min(prev[j], math.Min(prev[j-1], cur[j-1]))
+				cur[j] = math.Max(reach, d)
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}

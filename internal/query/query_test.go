@@ -1,0 +1,202 @@
+package query
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rlts/internal/gen"
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func line(n int) traj.Trajectory {
+	t := make(traj.Trajectory, n)
+	for i := range t {
+		t[i] = geo.Pt(float64(i), 0, float64(i))
+	}
+	return t
+}
+
+func TestPositionAt(t *testing.T) {
+	tr := line(10)
+	tests := []struct {
+		ts    float64
+		wantX float64
+	}{
+		{-5, 0},    // clamped before
+		{0, 0},     // exactly first
+		{4.5, 4.5}, // interpolated
+		{9, 9},     // exactly last
+		{99, 9},    // clamped after
+	}
+	for _, tc := range tests {
+		got := PositionAt(tr, tc.ts)
+		if !almost(got.X, tc.wantX, 1e-12) {
+			t.Errorf("PositionAt(%v).X = %v, want %v", tc.ts, got.X, tc.wantX)
+		}
+	}
+	if got := PositionAt(nil, 5); got != (geo.Point{}) {
+		t.Error("empty trajectory should give zero point")
+	}
+}
+
+func TestPositionAtMatchesExactPoints(t *testing.T) {
+	tr := gen.New(gen.Geolife(), 1).Trajectory(100)
+	for _, i := range []int{0, 17, 50, 99} {
+		got := PositionAt(tr, tr[i].T)
+		if !almost(got.X, tr[i].X, 1e-9) || !almost(got.Y, tr[i].Y, 1e-9) {
+			t.Errorf("PositionAt(t_%d) = %v, want %v", i, got, tr[i])
+		}
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	if !r.Contains(geo.Pt(5, 5, 0)) || !r.Contains(geo.Pt(0, 10, 0)) {
+		t.Error("inclusive containment broken")
+	}
+	if r.Contains(geo.Pt(-1, 5, 0)) || r.Contains(geo.Pt(5, 11, 0)) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	tests := []struct {
+		name string
+		a, b geo.Point
+		want bool
+	}{
+		{"both inside", geo.Pt(2, 2, 0), geo.Pt(8, 8, 1), true},
+		{"crossing", geo.Pt(-5, 5, 0), geo.Pt(15, 5, 1), true},
+		{"diagonal through corner region", geo.Pt(-1, 9, 0), geo.Pt(9, 19, 1), true},
+		{"entirely left", geo.Pt(-5, 2, 0), geo.Pt(-1, 8, 1), false},
+		{"diagonal miss", geo.Pt(-2, 11, 0), geo.Pt(11, 24, 1), false},
+		{"touching edge", geo.Pt(-5, 10, 0), geo.Pt(5, 10, 1), true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := r.SegmentIntersects(tc.a, tc.b); got != tc.want {
+				t.Errorf("segmentIntersects = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestWithinDuring(t *testing.T) {
+	// Object moves along y=0 from x=0..9 over t=0..9.
+	tr := line(10)
+	r := Rect{3, -1, 5, 1}
+	if !WithinDuring(tr, r, 0, 9) {
+		t.Error("object passes through the rect")
+	}
+	if !WithinDuring(tr, r, 3.5, 4) {
+		t.Error("object inside rect during [3.5, 4]")
+	}
+	if WithinDuring(tr, r, 6, 9) {
+		t.Error("object already past the rect after t=6")
+	}
+	if WithinDuring(tr, r, 9, 6) {
+		t.Error("inverted window accepted")
+	}
+	far := Rect{100, 100, 110, 110}
+	if WithinDuring(tr, far, 0, 9) {
+		t.Error("object never near far rect")
+	}
+}
+
+func TestNearestApproach(t *testing.T) {
+	tr := line(10)
+	d, at := NearestApproach(tr, geo.Pt(4.5, 3, 0))
+	if !almost(d, 3, 1e-9) {
+		t.Errorf("distance %v, want 3", d)
+	}
+	if !almost(at, 4.5, 1e-9) {
+		t.Errorf("time %v, want 4.5", at)
+	}
+	// Query beyond the end clamps to the last point.
+	d, _ = NearestApproach(tr, geo.Pt(20, 0, 0))
+	if !almost(d, 11, 1e-9) {
+		t.Errorf("distance %v, want 11", d)
+	}
+}
+
+func TestDTWIdentityZero(t *testing.T) {
+	tr := gen.New(gen.Truck(), 2).Trajectory(50)
+	if got := DTW(tr, tr); got != 0 {
+		t.Errorf("DTW(x, x) = %v", got)
+	}
+	if got := DiscreteFrechet(tr, tr); got != 0 {
+		t.Errorf("Frechet(x, x) = %v", got)
+	}
+}
+
+func TestDTWKnownValue(t *testing.T) {
+	a := traj.Trajectory{geo.Pt(0, 0, 0), geo.Pt(1, 0, 1)}
+	b := traj.Trajectory{geo.Pt(0, 1, 0), geo.Pt(1, 1, 1)}
+	// Optimal alignment pairs (a0,b0) and (a1,b1): 1 + 1 = 2.
+	if got := DTW(a, b); !almost(got, 2, 1e-12) {
+		t.Errorf("DTW = %v, want 2", got)
+	}
+	// Frechet is the bottleneck: max(1, 1) = 1.
+	if got := DiscreteFrechet(a, b); !almost(got, 1, 1e-12) {
+		t.Errorf("Frechet = %v, want 1", got)
+	}
+}
+
+func TestFrechetSymmetricProperty(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := gen.New(gen.Geolife(), seedA).Trajectory(20)
+		b := gen.New(gen.Geolife(), seedB).Trajectory(30)
+		return almost(DiscreteFrechet(a, b), DiscreteFrechet(b, a), 1e-9) &&
+			almost(DTW(a, b), DTW(b, a), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrechetBoundsDTWRelationProperty(t *testing.T) {
+	// DTW sums ground distances along a coupling; Frechet takes the max
+	// along (a possibly different) coupling. DTW >= Frechet always holds
+	// since the DTW-optimal coupling's max <= its sum, and Frechet
+	// minimizes the max over couplings.
+	f := func(seedA, seedB int64) bool {
+		a := gen.New(gen.Truck(), seedA).Trajectory(15)
+		b := gen.New(gen.Truck(), seedB).Trajectory(25)
+		return DTW(a, b) >= DiscreteFrechet(a, b)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplificationPreservesQueries(t *testing.T) {
+	// The whole point: a good simplification answers queries nearly as
+	// well as the raw data. Keeping every second point of a smooth
+	// trajectory must give small position error.
+	tr := gen.New(gen.Geolife(), 5).Trajectory(200)
+	idx := make([]int, 0, 100)
+	for i := 0; i < 200; i += 2 {
+		idx = append(idx, i)
+	}
+	if idx[len(idx)-1] != 199 {
+		idx = append(idx, 199)
+	}
+	simp := tr.Pick(idx)
+	var worst float64
+	for ts := tr[0].T; ts <= tr[len(tr)-1].T; ts += 7 {
+		d := geo.Dist(PositionAt(tr, ts), PositionAt(simp, ts))
+		if d > worst {
+			worst = d
+		}
+	}
+	// Half the points of a 1-5s-sampled walk: interpolation error stays
+	// within tens of meters.
+	if worst > 100 {
+		t.Errorf("worst position error %v — suspicious for a 2x simplification", worst)
+	}
+}

@@ -1,0 +1,110 @@
+package rl
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"rlts/internal/nn"
+)
+
+// Policy is a stochastic softmax policy pi_theta(a|s) parameterized by a
+// small MLP (Eq. 10). It owns the network together with its architecture
+// spec so it can be cloned and serialized.
+type Policy struct {
+	Spec nn.MLPSpec
+	Net  *nn.Network
+}
+
+// NewPolicy builds a policy network for the given state and action sizes
+// following the paper's architecture: one hidden layer of hidden units
+// with batch normalization before a tanh activation, then a softmax
+// output over the actions.
+func NewPolicy(stateSize, numActions, hidden int, r *rand.Rand) (*Policy, error) {
+	spec := nn.MLPSpec{
+		In:         stateSize,
+		Hidden:     []int{hidden},
+		Out:        numActions,
+		BatchNorm:  true,
+		Activation: "tanh",
+	}
+	net, err := nn.NewMLP(spec, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Policy{Spec: spec, Net: net}, nil
+}
+
+// Probs returns pi(.|state) restricted to the legal actions. train
+// selects training-time forward behaviour (batch-norm statistics update).
+func (p *Policy) Probs(state []float64, mask []bool, train bool) []float64 {
+	logits := p.Net.Forward(state, train)
+	if mask == nil {
+		return nn.Softmax(logits)
+	}
+	return nn.MaskedSoftmax(logits, mask)
+}
+
+// Act selects an action for state: sampled from the distribution when
+// sample is true (the paper's online-mode inference), greedy argmax
+// otherwise (batch-mode inference).
+func (p *Policy) Act(state []float64, mask []bool, sample bool, r *rand.Rand) int {
+	probs := p.Probs(state, mask, false)
+	if sample {
+		return SampleAction(probs, r)
+	}
+	return GreedyAction(probs)
+}
+
+// Clone returns an independent deep copy of the policy.
+func (p *Policy) Clone() *Policy {
+	return &Policy{Spec: p.Spec, Net: nn.CloneMLP(p.Spec, p.Net)}
+}
+
+// Save writes the policy to w in the nn JSON format.
+func (p *Policy) Save(w io.Writer) error { return nn.SaveMLP(w, p.Spec, p.Net) }
+
+// LoadPolicy reads a policy written by Save.
+func LoadPolicy(r io.Reader) (*Policy, error) {
+	spec, net, err := nn.LoadMLP(r)
+	if err != nil {
+		return nil, fmt.Errorf("rl: load policy: %w", err)
+	}
+	return &Policy{Spec: spec, Net: net}, nil
+}
+
+// accumulateEntropy adds the gradient of -beta * H(pi(.|s)) (descent on
+// the negated entropy bonus): dH/dz_i = -p_i * (ln p_i + H), so the
+// accumulated gradient is beta * p_i * (ln p_i + H). Masked actions have
+// p_i = 0 and contribute nothing.
+func (p *Policy) accumulateEntropy(state []float64, mask []bool, beta float64) {
+	probs := p.Probs(state, mask, false)
+	var h float64
+	for _, pi := range probs {
+		if pi > 0 {
+			h -= pi * math.Log(pi)
+		}
+	}
+	grad := make([]float64, len(probs))
+	for i, pi := range probs {
+		if pi > 0 {
+			grad[i] = beta * pi * (math.Log(pi) + h)
+		}
+	}
+	p.Net.Backward(grad)
+}
+
+// accumulateStep adds the REINFORCE gradient contribution of one step:
+// d/dtheta [ -Rnorm * ln pi(a|s) ], evaluated at the stored state.
+// Gradients are accumulated into the network; the caller applies the
+// optimizer step after the episode.
+func (p *Policy) accumulateStep(state []float64, mask []bool, action int, coeff float64) {
+	probs := p.Probs(state, mask, false)
+	grad := make([]float64, len(probs))
+	for i, pi := range probs {
+		grad[i] = coeff * pi
+	}
+	grad[action] -= coeff
+	p.Net.Backward(grad)
+}

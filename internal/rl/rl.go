@@ -1,0 +1,154 @@
+// Package rl provides the reinforcement-learning machinery shared by all
+// RLTS variants: a Markov-decision-process environment interface, a
+// stochastic softmax policy backed by package nn, and a REINFORCE trainer
+// (policy gradient with mean/std return normalization, the "PNet" method of
+// the paper's Eq. 11).
+package rl
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Env is a Markov decision process as seen by the trainer. A single Env
+// value models one episode at a time: Reset starts a new episode, Step
+// advances it.
+//
+// The mask returned with each state marks the currently legal actions
+// (e.g. a skip action is illegal when fewer points remain than it would
+// skip). Implementations must return at least one legal action whenever
+// done is false.
+type Env interface {
+	// Reset starts a new episode and returns the first state. If the
+	// episode is degenerate (nothing to decide), done is true and the
+	// trainer records an empty episode.
+	Reset() (state []float64, mask []bool, done bool)
+	// Step performs the action sampled for the last returned state and
+	// yields the resulting reward and next state.
+	Step(action int) (state []float64, mask []bool, reward float64, done bool)
+	// StateSize returns the fixed dimensionality of states.
+	StateSize() int
+	// NumActions returns the fixed size of the action space.
+	NumActions() int
+}
+
+// Episode is the trace of one rollout: parallel slices of states, masks,
+// actions and rewards. Keys, when present, give each step a progress key
+// (see Progresser) used to align returns across episodes of different
+// lengths.
+type Episode struct {
+	States  [][]float64
+	Masks   [][]bool
+	Actions []int
+	Rewards []float64
+	Keys    []int
+}
+
+// Progresser is an optional Env extension. When implemented, Rollout
+// records ProgressKey before every step, and the trainer normalizes
+// returns across episodes at equal *progress* rather than equal step
+// index. This matters for MDPs whose actions advance the episode by
+// variable amounts (the skip actions of RLTS-Skip): comparing the return
+// "after t decisions" across episodes that are at different points of the
+// trajectory mixes incomparable futures, while comparing "at scan
+// position i" does not.
+type Progresser interface {
+	// ProgressKey identifies the episode's current position; it must be
+	// strictly monotone within an episode.
+	ProgressKey() int
+}
+
+// Len returns the number of transitions in the episode.
+func (e *Episode) Len() int { return len(e.Actions) }
+
+// TotalReward returns the undiscounted sum of rewards, which by Eq. 9
+// equals minus the final simplification error for the RLTS MDPs.
+func (e *Episode) TotalReward() float64 {
+	var s float64
+	for _, r := range e.Rewards {
+		s += r
+	}
+	return s
+}
+
+// Returns computes the discounted cumulative returns R_t for each step.
+func (e *Episode) Returns(gamma float64) []float64 {
+	out := make([]float64, len(e.Rewards))
+	var acc float64
+	for i := len(e.Rewards) - 1; i >= 0; i-- {
+		acc = e.Rewards[i] + gamma*acc
+		out[i] = acc
+	}
+	return out
+}
+
+// NormalizeReturns standardizes the returns to zero mean and unit standard
+// deviation — the variance-reduction baseline of Eq. 11. A constant return
+// vector normalizes to all zeros (no gradient), and a single-step episode
+// keeps its raw sign.
+func NormalizeReturns(returns []float64) []float64 {
+	n := len(returns)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	var mean float64
+	for _, r := range returns {
+		mean += r
+	}
+	mean /= float64(n)
+	var varAcc float64
+	for _, r := range returns {
+		d := r - mean
+		varAcc += d * d
+	}
+	std := math.Sqrt(varAcc / float64(n))
+	if std < 1e-12 {
+		// Degenerate episode: all returns equal. Without spread there is
+		// no preference signal; emit zeros rather than dividing by ~0.
+		return out
+	}
+	for i, r := range returns {
+		out[i] = (r - mean) / std
+	}
+	return out
+}
+
+// SampleAction draws an action index from the probability vector.
+func SampleAction(probs []float64, r *rand.Rand) int {
+	u := r.Float64()
+	var acc float64
+	last := 0
+	for i, p := range probs {
+		if p > 0 {
+			last = i
+		}
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	// Floating-point slack: fall back to the last positive-probability
+	// action.
+	return last
+}
+
+// GreedyAction returns the index of the largest probability.
+func GreedyAction(probs []float64) int {
+	best, bestP := 0, math.Inf(-1)
+	for i, p := range probs {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}
+
+// FullMask returns a mask with all n actions legal.
+func FullMask(n int) []bool {
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = true
+	}
+	return m
+}

@@ -1,0 +1,235 @@
+package rl
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"rlts/internal/nn"
+)
+
+// TrainConfig holds the hyper-parameters of REINFORCE training, defaulted
+// to the paper's settings (§VI-A).
+type TrainConfig struct {
+	LearningRate float64 // Adam learning rate; paper: 1e-3
+	Gamma        float64 // reward discount; paper: 0.99
+	Episodes     int     // episodes generated per trajectory (one update per batch); paper: 10
+	Epochs       int     // passes over the trajectory list; default 1
+	Hidden       int     // hidden layer width; paper: 20
+	Seed         int64   // RNG seed for init, sampling and shuffling
+	// Entropy adds an entropy bonus beta*H(pi(.|s)) to the objective,
+	// discouraging premature collapse onto one action. The paper does not
+	// use one (0 disables); it is provided for ablation.
+	Entropy  float64
+	Log      io.Writer // optional progress sink (nil = silent)
+	LogEvery int       // log every n trajectories (0 = never)
+}
+
+// DefaultTrainConfig returns the paper's hyper-parameters.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		LearningRate: 1e-3,
+		Gamma:        0.99,
+		Episodes:     10,
+		Hidden:       20,
+		Seed:         1,
+	}
+}
+
+func (c *TrainConfig) fillDefaults() {
+	d := DefaultTrainConfig()
+	if c.LearningRate <= 0 {
+		c.LearningRate = d.LearningRate
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = d.Gamma
+	}
+	if c.Episodes <= 0 {
+		c.Episodes = d.Episodes
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 1
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = d.Hidden
+	}
+}
+
+// TrainResult reports what training produced. Best is the snapshot with
+// the highest single-episode total reward (the paper's criterion); Final
+// is the policy after the last update. Episode rewards are only comparable
+// within one trajectory, so when training spans many trajectories of
+// different difficulty Final is usually the better choice and is what the
+// higher-level trainers use.
+type TrainResult struct {
+	Best        *Policy
+	Final       *Policy
+	BestReward  float64 // best single-episode total reward
+	FinalReward float64 // total reward of the last episode
+	EpisodesRun int
+	StepsRun    int
+}
+
+// Rollout plays one episode of env under policy, sampling actions, and
+// returns the recorded trace. train selects training-mode forwards so the
+// batch-norm statistics learn the state distribution. If env implements
+// Progresser, per-step progress keys are recorded for the trainer's
+// return alignment.
+func Rollout(env Env, p *Policy, r *rand.Rand, train bool) *Episode {
+	ep := &Episode{}
+	prog, hasProg := env.(Progresser)
+	state, mask, done := env.Reset()
+	for !done {
+		if hasProg {
+			ep.Keys = append(ep.Keys, prog.ProgressKey())
+		}
+		probs := p.Probs(state, mask, train)
+		a := SampleAction(probs, r)
+		next, nextMask, reward, d := env.Step(a)
+		ep.States = append(ep.States, state)
+		ep.Masks = append(ep.Masks, mask)
+		ep.Actions = append(ep.Actions, a)
+		ep.Rewards = append(ep.Rewards, reward)
+		state, mask, done = next, nextMask, d
+	}
+	return ep
+}
+
+// Train runs REINFORCE over a stream of environments. envs yields one Env
+// per training trajectory (the caller typically wraps a dataset); for each
+// it generates cfg.Episodes episodes and applies one optimizer update per
+// episode. It returns the best policy observed.
+func Train(envs []Env, cfg TrainConfig) (*TrainResult, error) {
+	cfg.fillDefaults()
+	if len(envs) == 0 {
+		return nil, fmt.Errorf("rl: no training environments")
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	p, err := NewPolicy(envs[0].StateSize(), envs[0].NumActions(), cfg.Hidden, r)
+	if err != nil {
+		return nil, err
+	}
+	return TrainPolicy(p, envs, cfg)
+}
+
+// TrainPolicy is Train with a caller-supplied initial policy, allowing
+// warm starts and architecture experiments.
+func TrainPolicy(p *Policy, envs []Env, cfg TrainConfig) (*TrainResult, error) {
+	cfg.fillDefaults()
+	if len(envs) == 0 {
+		return nil, fmt.Errorf("rl: no training environments")
+	}
+	for _, env := range envs {
+		if env.StateSize() != p.Spec.In || env.NumActions() != p.Spec.Out {
+			return nil, fmt.Errorf("rl: env shape (%d states, %d actions) does not match policy (%d, %d)",
+				env.StateSize(), env.NumActions(), p.Spec.In, p.Spec.Out)
+		}
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	adam := nn.NewAdam(p.Net.Params(), cfg.LearningRate)
+
+	res := &TrainResult{Best: p.Clone(), BestReward: math.Inf(-1)}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for ti, env := range envs {
+			// Generate the trajectory's episode batch under the current
+			// policy; one optimizer update per batch.
+			batch := make([]*Episode, 0, cfg.Episodes)
+			for e := 0; e < cfg.Episodes; e++ {
+				ep := Rollout(env, p, r, true)
+				if ep.Len() == 0 {
+					continue
+				}
+				batch = append(batch, ep)
+				res.EpisodesRun++
+				res.StepsRun += ep.Len()
+				total := ep.TotalReward()
+				res.FinalReward = total
+				if total > res.BestReward {
+					res.BestReward = total
+					res.Best = p.Clone()
+				}
+			}
+			if len(batch) > 0 {
+				updateBatch(p, adam, batch, cfg.Gamma, cfg.Entropy)
+			}
+			if cfg.Log != nil && cfg.LogEvery > 0 && (ti+1)%cfg.LogEvery == 0 {
+				fmt.Fprintf(cfg.Log, "rl: epoch %d, trajectory %d/%d, best reward %.4f, last %.4f\n",
+					epoch+1, ti+1, len(envs), res.BestReward, res.FinalReward)
+			}
+		}
+	}
+	res.Final = p
+	return res, nil
+}
+
+// updateBatch applies one REINFORCE update from a batch of episodes rolled
+// out on the same trajectory. Returns are normalized per *position* across
+// the batch (Eq. 11's \hat R_t and sigma_t): the baseline at a position is
+// the mean return over the episodes at that same position, which removes
+// the strong positional trend the returns carry (simplification errors
+// only accumulate, so a whole-episode baseline would mostly encode "early
+// actions look bad", not action quality).
+//
+// Position is the episode's progress key when the environment provides one
+// (equal scan index for the RLTS MDPs, so episodes that skipped different
+// numbers of points still compare like with like), falling back to the
+// step index otherwise.
+func updateBatch(p *Policy, adam *nn.Adam, batch []*Episode, gamma, entropy float64) {
+	returns := make([][]float64, len(batch))
+	coeffs := make([][]float64, len(batch))
+	for i, ep := range batch {
+		returns[i] = ep.Returns(gamma)
+		coeffs[i] = make([]float64, ep.Len())
+	}
+	// Group step references by position.
+	type ref struct{ ep, t int }
+	groups := make(map[int][]ref)
+	for i, ep := range batch {
+		for t := 0; t < ep.Len(); t++ {
+			key := t
+			if len(ep.Keys) == ep.Len() {
+				key = ep.Keys[t]
+			}
+			groups[key] = append(groups[key], ref{i, t})
+		}
+	}
+	for _, refs := range groups {
+		if len(refs) < 2 {
+			continue // a single sample carries no comparative signal
+		}
+		var mean float64
+		for _, rf := range refs {
+			mean += returns[rf.ep][rf.t]
+		}
+		mean /= float64(len(refs))
+		var varAcc float64
+		for _, rf := range refs {
+			d := returns[rf.ep][rf.t] - mean
+			varAcc += d * d
+		}
+		std := math.Sqrt(varAcc / float64(len(refs)))
+		if std < 1e-12 {
+			continue
+		}
+		for _, rf := range refs {
+			coeffs[rf.ep][rf.t] = (returns[rf.ep][rf.t] - mean) / std
+		}
+	}
+	p.Net.ZeroGrad()
+	var steps int
+	for i, ep := range batch {
+		for t := 0; t < ep.Len(); t++ {
+			steps++
+			if coeffs[i][t] != 0 {
+				p.accumulateStep(ep.States[t], ep.Masks[t], ep.Actions[t], coeffs[i][t])
+			}
+			if entropy > 0 {
+				p.accumulateEntropy(ep.States[t], ep.Masks[t], entropy)
+			}
+		}
+	}
+	if steps > 0 {
+		adam.Step(float64(steps))
+	}
+}

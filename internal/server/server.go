@@ -1,0 +1,262 @@
+// Package server exposes trajectory simplification as an HTTP service —
+// the deployment shape of the paper's batch mode (a server holding
+// accumulated trajectories that shrinks them before storage or query
+// processing). The service is stateless: each request carries a
+// trajectory and names an algorithm; trained RLTS policies are registered
+// at construction.
+//
+// Endpoints (JSON in/out):
+//
+//	GET  /healthz               liveness probe
+//	GET  /v1/algorithms         available algorithm names
+//	POST /v1/simplify           simplify one trajectory
+//	POST /v1/stats              Table-I-style statistics for a trajectory
+//
+// A simplify request:
+//
+//	{"algorithm": "rlts+", "measure": "SED", "w": 50,        // or "ratio": 0.1
+//	 "points": [[x, y, t], ...]}
+//
+// and its response:
+//
+//	{"algorithm": "RLTS+", "kept": 50, "of": 500,
+//	 "error": 3.21, "points": [[x, y, t], ...]}
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	baseBatch "rlts/internal/baseline/batch"
+	baseOnline "rlts/internal/baseline/online"
+	"rlts/internal/core"
+	"rlts/internal/errm"
+	"rlts/internal/traj"
+)
+
+// MaxBodyBytes bounds request bodies (1,000,000 points ≈ 48 MB of JSON is
+// far beyond any sane request).
+const MaxBodyBytes = 64 << 20
+
+// Server routes simplification requests to registered algorithms.
+type Server struct {
+	mux      *http.ServeMux
+	policies map[string]*core.Trained // lower-case name -> policy
+}
+
+// New creates a server with the given trained policies registered under
+// their paper names (e.g. "rlts+"). The heuristic baselines are always
+// available.
+func New(policies []*core.Trained) *Server {
+	s := &Server{
+		mux:      http.NewServeMux(),
+		policies: make(map[string]*core.Trained),
+	}
+	for _, p := range policies {
+		key := strings.ToLower(p.Opts.Name() + "/" + p.Opts.Measure.String())
+		s.policies[key] = p
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("/v1/simplify", s.handleSimplify)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the http.Handler for the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	names := []string{
+		"sttrace", "squish", "squish-e", "top-down", "bottom-up", "bellman", "span-search", "uniform",
+	}
+	for k := range s.policies {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	writeJSON(w, map[string]interface{}{"algorithms": names})
+}
+
+// simplifyRequest is the wire format of POST /v1/simplify.
+type simplifyRequest struct {
+	Algorithm string       `json:"algorithm"`
+	Measure   string       `json:"measure"`
+	W         int          `json:"w"`
+	Ratio     float64      `json:"ratio"`
+	Points    [][3]float64 `json:"points"`
+}
+
+type simplifyResponse struct {
+	Algorithm string       `json:"algorithm"`
+	Kept      int          `json:"kept"`
+	Of        int          `json:"of"`
+	Error     float64      `json:"error"`
+	Points    [][3]float64 `json:"points"`
+}
+
+func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req simplifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	t, err := toTrajectory(req.Points)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m := errm.SED
+	if req.Measure != "" {
+		m, err = errm.Parse(req.Measure)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	budget := req.W
+	if budget <= 0 {
+		ratio := req.Ratio
+		if ratio <= 0 || ratio > 1 {
+			ratio = 0.1
+		}
+		budget = int(ratio * float64(len(t)))
+	}
+	if budget < 2 {
+		budget = 2
+	}
+	name, kept, err := s.run(strings.ToLower(req.Algorithm), t, budget, m)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := simplifyResponse{
+		Algorithm: name,
+		Kept:      len(kept),
+		Of:        len(t),
+		Error:     errm.Error(m, t, kept),
+	}
+	for _, ix := range kept {
+		p := t[ix]
+		resp.Points = append(resp.Points, [3]float64{p.X, p.Y, p.T})
+	}
+	writeJSON(w, &resp)
+}
+
+// run dispatches to a policy or a baseline.
+func (s *Server) run(algo string, t traj.Trajectory, w int, m errm.Measure) (string, []int, error) {
+	if p, ok := s.policies[strings.ToLower(algo+"/"+m.String())]; ok {
+		kept, err := p.SimplifyGreedy(t, w)
+		return p.Opts.Name(), kept, err
+	}
+	switch algo {
+	case "sttrace":
+		kept, err := baseOnline.STTrace(t, w, m)
+		return "STTrace", kept, err
+	case "squish":
+		kept, err := baseOnline.SQUISH(t, w, m)
+		return "SQUISH", kept, err
+	case "squish-e", "squishe":
+		kept, err := baseOnline.SQUISHE(t, w, m)
+		return "SQUISH-E", kept, err
+	case "top-down", "topdown":
+		kept, err := baseBatch.TopDown(t, w, m)
+		return "Top-Down", kept, err
+	case "bottom-up", "bottomup", "":
+		kept, err := baseBatch.BottomUp(t, w, m)
+		return "Bottom-Up", kept, err
+	case "bellman":
+		if len(t) > 2000 {
+			return "", nil, fmt.Errorf("server: bellman is cubic; refusing %d points (max 2000)", len(t))
+		}
+		kept, err := baseBatch.Bellman(t, w, m)
+		return "Bellman", kept, err
+	case "span-search", "spansearch":
+		kept, err := baseBatch.SpanSearch(t, w)
+		return "Span-Search", kept, err
+	case "uniform":
+		kept, err := baseOnline.Uniform(t, w)
+		return "Uniform", kept, err
+	}
+	return "", nil, fmt.Errorf("server: unknown algorithm %q (policies need a matching measure)", algo)
+}
+
+type statsResponse struct {
+	Points      int     `json:"points"`
+	Duration    float64 `json:"duration_s"`
+	PathLength  float64 `json:"path_length_m"`
+	AvgGap      float64 `json:"avg_gap_s"`
+	AvgDistance float64 `json:"avg_distance_m"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req struct {
+		Points [][3]float64 `json:"points"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	t, err := toTrajectory(req.Points)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := traj.Summarize([]traj.Trajectory{t})
+	writeJSON(w, &statsResponse{
+		Points:      t.Len(),
+		Duration:    t.Duration(),
+		PathLength:  t.PathLength(),
+		AvgGap:      st.AvgSampleRate,
+		AvgDistance: st.AvgDistance,
+	})
+}
+
+func toTrajectory(points [][3]float64) (traj.Trajectory, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("server: need at least 2 points, got %d", len(points))
+	}
+	t := make(traj.Trajectory, len(points))
+	for i, p := range points {
+		t[i].X, t[i].Y, t[i].T = p[0], p[1], p[2]
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("server: invalid trajectory: %w", err)
+	}
+	return t, nil
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; the connection will just break.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,40 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"rlts/internal/gen"
+)
+
+// FuzzDecode checks the binary decoder never panics or over-allocates on
+// adversarial input.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid encoding and truncations of it.
+	var buf bytes.Buffer
+	tr := gen.New(gen.Geolife(), 1).Trajectory(20)
+	if err := Encode(&buf, tr, 2); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("TRJ1"))
+	f.Add([]byte{})
+	// A huge claimed point count must not allocate unboundedly.
+	f.Add(append([]byte("TRJ1"), 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		tr, err := Decode(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(tr) == 0 {
+			t.Fatal("Decode returned empty trajectory without error")
+		}
+		for _, p := range tr {
+			if !p.IsFinite() {
+				t.Fatal("Decode returned non-finite point")
+			}
+		}
+	})
+}

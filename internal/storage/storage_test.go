@@ -1,0 +1,122 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rlts/internal/gen"
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+func TestRoundTrip(t *testing.T) {
+	tr := gen.New(gen.Geolife(), 1).Trajectory(500)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr, 3); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("lengths differ: %d vs %d", back.Len(), tr.Len())
+	}
+	const tol = 0.5e-3 // half a quantization step at precision 3
+	for i := range tr {
+		if math.Abs(back[i].X-tr[i].X) > tol ||
+			math.Abs(back[i].Y-tr[i].Y) > tol ||
+			math.Abs(back[i].T-tr[i].T) > tol {
+			t.Fatalf("point %d drifted: %v vs %v", i, back[i], tr[i])
+		}
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	tr := gen.New(gen.Geolife(), 2).Trajectory(2000)
+	enc, err := EncodedSize(tr, DefaultPrecision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := RawSize(tr)
+	perPoint := float64(enc) / float64(tr.Len())
+	t.Logf("raw %d bytes, encoded %d bytes (%.1f bytes/point, %.1fx)",
+		raw, enc, perPoint, float64(raw)/float64(enc))
+	if perPoint > 12 {
+		t.Errorf("%.1f bytes/point — delta coding not effective", perPoint)
+	}
+	if enc >= raw {
+		t.Error("encoding did not compress at all")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	tr := gen.New(gen.Geolife(), 3).Trajectory(10)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr, -1); err == nil {
+		t.Error("negative precision accepted")
+	}
+	if err := Encode(&buf, tr, 10); err == nil {
+		t.Error("precision 10 accepted")
+	}
+	if err := Encode(&buf, nil, 2); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("TRJ1"),                    // truncated after magic
+		append([]byte("TRJ1"), 0x05, 0x2), // truncated bases
+	}
+	for i, c := range cases {
+		if _, err := Decode(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, lenByte, precByte uint8) bool {
+		n := 2 + int(lenByte)%200
+		prec := int(precByte) % 5
+		tr := gen.New(gen.Truck(), seed).Trajectory(n)
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr, prec); err != nil {
+			return false
+		}
+		back, err := Decode(&buf)
+		if err != nil || back.Len() != n {
+			return false
+		}
+		tol := 0.5 * math.Pow10(-prec) * 1.0001
+		for i := range tr {
+			if math.Abs(back[i].X-tr[i].X) > tol || math.Abs(back[i].T-tr[i].T) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleAndDegeneratePoints(t *testing.T) {
+	one := traj.Trajectory{geo.Pt(1234.56, -789.01, 42)}
+	var buf bytes.Buffer
+	if err := Encode(&buf, one, 2); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 1 || math.Abs(back[0].X-1234.56) > 0.01 {
+		t.Errorf("single point round trip: %v", back)
+	}
+}

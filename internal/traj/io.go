@@ -1,0 +1,99 @@
+package traj
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rlts/internal/geo"
+)
+
+// The CSV format used by the cmd/ tools is one point per record:
+//
+//	traj_id,x,y,t
+//
+// Records must be grouped by traj_id (all points of a trajectory
+// contiguous) and time-ordered within a trajectory. A header line is
+// detected and skipped if the second field does not parse as a number.
+
+// WriteCSV writes trajectories in the traj_id,x,y,t format.
+// Trajectory ids are their indices in ts.
+func WriteCSV(w io.Writer, ts []Trajectory) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("traj_id,x,y,t\n"); err != nil {
+		return err
+	}
+	for id, t := range ts {
+		for _, p := range t {
+			if _, err := fmt.Fprintf(bw, "%d,%g,%g,%g\n", id, p.X, p.Y, p.T); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads trajectories in the traj_id,x,y,t format. It returns the
+// trajectories in first-appearance order of their ids.
+func ReadCSV(r io.Reader) ([]Trajectory, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = 4
+
+	var (
+		out     []Trajectory
+		index   = map[string]int{}
+		lineNum int
+	)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("traj: csv read: %w", err)
+		}
+		lineNum++
+		if lineNum == 1 && looksLikeHeader(rec) {
+			continue
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("traj: line %d: bad x %q: %w", lineNum, rec[1], err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(rec[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("traj: line %d: bad y %q: %w", lineNum, rec[2], err)
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(rec[3]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("traj: line %d: bad t %q: %w", lineNum, rec[3], err)
+		}
+		id := strings.TrimSpace(rec[0])
+		ix, ok := index[id]
+		if !ok {
+			ix = len(out)
+			index[id] = ix
+			out = append(out, nil)
+		}
+		out[ix] = append(out[ix], geo.Pt(x, y, t))
+	}
+	for i, t := range out {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("traj: trajectory %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+func looksLikeHeader(rec []string) bool {
+	// A header has no numeric fields at all; a data record always has
+	// numeric x and t. Requiring both to be non-numeric avoids silently
+	// swallowing a malformed first data record as a "header".
+	_, errX := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
+	_, errT := strconv.ParseFloat(strings.TrimSpace(rec[3]), 64)
+	return errX != nil && errT != nil
+}

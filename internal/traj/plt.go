@@ -1,0 +1,154 @@
+package traj
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"rlts/internal/geo"
+)
+
+// ReadPLT reads a trajectory in the Geolife PLT format, so the real
+// dataset can be plugged into this reproduction directly:
+//
+//	Geolife trajectory
+//	WGS 84
+//	Altitude is in Feet
+//	Reserved 3
+//	0,2,255,My Track,0,0,2,8421376
+//	0
+//	39.906631,116.385564,0,492,39745.1201851852,2008-10-24,02:53:04
+//	...
+//
+// Records are latitude,longitude,0,altitude,timestamp-in-days,date,time.
+// Latitude/longitude are projected to local meters with an equirectangular
+// projection centered on the first point (adequate at city scale), and the
+// fractional-day timestamp becomes seconds. Points with non-increasing
+// timestamps (duplicate fixes, a known Geolife artifact) are dropped.
+func ReadPLT(r io.Reader) (Trajectory, error) {
+	const headerLines = 6
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for i := 0; i < headerLines; i++ {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, fmt.Errorf("traj: plt header: %w", err)
+			}
+			return nil, fmt.Errorf("traj: plt file shorter than its %d-line header", headerLines)
+		}
+	}
+	var (
+		out             Trajectory
+		lat0, lon0      float64
+		haveOrigin      bool
+		lineNum         = headerLines
+		droppedOutOrder int
+	)
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("traj: plt line %d: %d fields, want >= 5", lineNum, len(fields))
+		}
+		lat, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("traj: plt line %d: latitude: %w", lineNum, err)
+		}
+		lon, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("traj: plt line %d: longitude: %w", lineNum, err)
+		}
+		days, err := strconv.ParseFloat(strings.TrimSpace(fields[4]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("traj: plt line %d: timestamp: %w", lineNum, err)
+		}
+		if !haveOrigin {
+			lat0, lon0 = lat, lon
+			haveOrigin = true
+		}
+		x, y := projectEquirectangular(lat, lon, lat0, lon0)
+		t := days * 86400
+		if n := len(out); n > 0 && t <= out[n-1].T {
+			droppedOutOrder++
+			continue
+		}
+		out = append(out, geo.Pt(x, y, t))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traj: plt: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("traj: plt file contains no points")
+	}
+	return out, nil
+}
+
+// ReadPLTFile reads one .plt file from disk.
+func ReadPLTFile(path string) (Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := ReadPLT(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// ReadPLTDir loads every .plt file under dir recursively (the Geolife
+// release layout is Data/<user>/Trajectory/*.plt). Files that fail to
+// parse are skipped with their errors collected; the call only fails when
+// nothing loads.
+func ReadPLTDir(dir string) ([]Trajectory, []error, error) {
+	var (
+		out  []Trajectory
+		errs []error
+	)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.EqualFold(filepath.Ext(path), ".plt") {
+			return nil
+		}
+		t, err := ReadPLTFile(path)
+		if err != nil {
+			errs = append(errs, err)
+			return nil
+		}
+		out = append(out, t)
+		return nil
+	})
+	if err != nil {
+		return nil, errs, err
+	}
+	if len(out) == 0 {
+		return nil, errs, fmt.Errorf("traj: no readable .plt files under %s", dir)
+	}
+	return out, errs, nil
+}
+
+// earthRadiusMeters is the WGS-84 mean Earth radius.
+const earthRadiusMeters = 6371008.8
+
+// projectEquirectangular maps (lat, lon) to local meters relative to
+// (lat0, lon0).
+func projectEquirectangular(lat, lon, lat0, lon0 float64) (x, y float64) {
+	latRad := lat * math.Pi / 180
+	lat0Rad := lat0 * math.Pi / 180
+	x = (lon - lon0) * math.Pi / 180 * earthRadiusMeters * math.Cos(lat0Rad)
+	y = (latRad - lat0Rad) * earthRadiusMeters
+	return x, y
+}

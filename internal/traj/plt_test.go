@@ -1,0 +1,129 @@
+package traj
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const pltHeader = `Geolife trajectory
+WGS 84
+Altitude is in Feet
+Reserved 3
+0,2,255,My Track,0,0,2,8421376
+0
+`
+
+func TestReadPLT(t *testing.T) {
+	in := pltHeader +
+		"39.906631,116.385564,0,492,39745.1201851852,2008-10-24,02:53:04\n" +
+		"39.906650,116.385600,0,492,39745.1202431713,2008-10-24,02:53:09\n" +
+		"39.906700,116.385700,0,492,39745.1203020000,2008-10-24,02:53:14\n"
+	tr, err := ReadPLT(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("got %d points, want 3", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The first point is the projection origin.
+	if tr[0].X != 0 || tr[0].Y != 0 {
+		t.Errorf("origin not at (0,0): %v", tr[0])
+	}
+	// ~19m north for 0.000019 deg at lat 39.9? lat delta 0.000019 deg
+	// = 0.000019 * pi/180 * R ~ 2.1m; check rough magnitude.
+	if tr[1].Y < 1 || tr[1].Y > 4 {
+		t.Errorf("second point northing %v, want ~2m", tr[1].Y)
+	}
+	// Time gap: 0.0000579861 days ~ 5.01s.
+	gap := tr[1].T - tr[0].T
+	if math.Abs(gap-5) > 0.2 {
+		t.Errorf("time gap %v, want ~5s", gap)
+	}
+}
+
+func TestReadPLTDropsOutOfOrder(t *testing.T) {
+	in := pltHeader +
+		"39.9,116.3,0,492,39745.10,2008-10-24,02:24:00\n" +
+		"39.9,116.3,0,492,39745.10,2008-10-24,02:24:00\n" + // duplicate timestamp
+		"39.9,116.3,0,492,39745.11,2008-10-24,02:38:24\n"
+	tr, err := ReadPLT(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("got %d points, want 2 (duplicate dropped)", tr.Len())
+	}
+}
+
+func TestReadPLTErrors(t *testing.T) {
+	tests := []struct {
+		name, in string
+	}{
+		{"truncated header", "Geolife trajectory\nWGS 84\n"},
+		{"no points", pltHeader},
+		{"bad latitude", pltHeader + "abc,116.3,0,492,39745.1,2008-10-24,02:53:04\n"},
+		{"bad longitude", pltHeader + "39.9,abc,0,492,39745.1,2008-10-24,02:53:04\n"},
+		{"bad timestamp", pltHeader + "39.9,116.3,0,492,abc,2008-10-24,02:53:04\n"},
+		{"too few fields", pltHeader + "39.9,116.3,0\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadPLT(strings.NewReader(tc.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReadPLTDir(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "000", "Trajectory")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	good := pltHeader +
+		"39.9,116.3,0,492,39745.10,2008-10-24,02:24:00\n" +
+		"39.91,116.31,0,492,39745.11,2008-10-24,02:38:24\n"
+	if err := os.WriteFile(filepath.Join(sub, "a.plt"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "bad.plt"), []byte("broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "ignored.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts, errs, err := ReadPLTDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Errorf("loaded %d trajectories, want 1", len(ts))
+	}
+	if len(errs) != 1 {
+		t.Errorf("collected %d errors, want 1 (the broken file)", len(errs))
+	}
+	// A directory with nothing readable fails.
+	if _, _, err := ReadPLTDir(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+func TestProjectionScale(t *testing.T) {
+	// One degree of latitude is ~111.2 km everywhere.
+	_, y := projectEquirectangular(40, 116, 39, 116)
+	if math.Abs(y-111195) > 500 {
+		t.Errorf("1 deg latitude = %v m, want ~111195", y)
+	}
+	// One degree of longitude at 60N is ~55.6 km.
+	x, _ := projectEquirectangular(60, 117, 60, 116)
+	if math.Abs(x-55597) > 500 {
+		t.Errorf("1 deg longitude at 60N = %v m, want ~55597", x)
+	}
+}

@@ -1,0 +1,68 @@
+package traj
+
+import "fmt"
+
+// Preprocessing utilities for raw GPS data. Real trajectory datasets
+// (including the paper's three) are cleaned before simplification
+// experiments: recordings are split where the sensor went silent, runts
+// are discarded, and oversampled stretches are thinned.
+
+// SplitAtGaps cuts t wherever consecutive points are more than maxGap
+// seconds apart and returns the resulting sub-trajectories in order.
+// A non-positive maxGap returns the trajectory unsplit.
+func SplitAtGaps(t Trajectory, maxGap float64) []Trajectory {
+	if maxGap <= 0 || len(t) == 0 {
+		return []Trajectory{t}
+	}
+	var out []Trajectory
+	start := 0
+	for i := 1; i < len(t); i++ {
+		if t[i].T-t[i-1].T > maxGap {
+			out = append(out, t[start:i])
+			start = i
+		}
+	}
+	return append(out, t[start:])
+}
+
+// FilterShort drops trajectories with fewer than minPoints points.
+func FilterShort(ts []Trajectory, minPoints int) []Trajectory {
+	out := ts[:0:0]
+	for _, t := range ts {
+		if len(t) >= minPoints {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Downsample keeps at most one point per minGap seconds (always keeping
+// the first and last), thinning oversampled stretches. It returns a new
+// trajectory; the input is unchanged.
+func Downsample(t Trajectory, minGap float64) Trajectory {
+	if len(t) <= 2 || minGap <= 0 {
+		return t.Clone()
+	}
+	out := Trajectory{t[0]}
+	last := t[0].T
+	for i := 1; i < len(t)-1; i++ {
+		if t[i].T-last >= minGap {
+			out = append(out, t[i])
+			last = t[i].T
+		}
+	}
+	return append(out, t[len(t)-1])
+}
+
+// Clean is the standard pipeline: split at gaps, drop runts.
+// It validates every output trajectory and reports the first problem.
+func Clean(ts []Trajectory, maxGap float64, minPoints int) ([]Trajectory, error) {
+	var out []Trajectory
+	for i, t := range ts {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("traj: input %d: %w", i, err)
+		}
+		out = append(out, SplitAtGaps(t, maxGap)...)
+	}
+	return FilterShort(out, minPoints), nil
+}

@@ -1,0 +1,129 @@
+package traj
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rlts/internal/geo"
+)
+
+func gapTraj(gaps []float64) Trajectory {
+	t := Trajectory{geo.Pt(0, 0, 0)}
+	cur := 0.0
+	for i, g := range gaps {
+		cur += g
+		t = append(t, geo.Pt(float64(i+1), 0, cur))
+	}
+	return t
+}
+
+func TestSplitAtGaps(t *testing.T) {
+	tr := gapTraj([]float64{1, 1, 100, 1, 1, 200, 1})
+	parts := SplitAtGaps(tr, 10)
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts, want 3", len(parts))
+	}
+	if parts[0].Len() != 3 || parts[1].Len() != 3 || parts[2].Len() != 2 {
+		t.Errorf("part lengths %d/%d/%d, want 3/3/2",
+			parts[0].Len(), parts[1].Len(), parts[2].Len())
+	}
+	// Total points preserved.
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != tr.Len() {
+		t.Errorf("points lost: %d vs %d", total, tr.Len())
+	}
+	// No split requested.
+	if got := SplitAtGaps(tr, 0); len(got) != 1 {
+		t.Errorf("maxGap=0 split into %d", len(got))
+	}
+	// No gaps large enough.
+	if got := SplitAtGaps(tr, 1000); len(got) != 1 {
+		t.Errorf("huge maxGap split into %d", len(got))
+	}
+}
+
+func TestSplitAtGapsPreservesPointsProperty(t *testing.T) {
+	f := func(raw []uint8, maxGapRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		gaps := make([]float64, len(raw))
+		for i, g := range raw {
+			gaps[i] = float64(g)/16 + 0.01
+		}
+		tr := gapTraj(gaps)
+		maxGap := float64(maxGapRaw) / 16
+		parts := SplitAtGaps(tr, maxGap)
+		total := 0
+		for _, p := range parts {
+			total += p.Len()
+			if maxGap > 0 {
+				for i := 1; i < p.Len(); i++ {
+					if p[i].T-p[i-1].T > maxGap {
+						return false // a gap survived inside a part
+					}
+				}
+			}
+		}
+		return total == tr.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterShort(t *testing.T) {
+	ts := []Trajectory{line(10), line(2), line(5)}
+	out := FilterShort(ts, 5)
+	if len(out) != 2 {
+		t.Fatalf("kept %d, want 2", len(out))
+	}
+	if out[0].Len() != 10 || out[1].Len() != 5 {
+		t.Error("wrong trajectories kept")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	// 1-second sampling, thin to >= 5 s.
+	tr := line(21)
+	out := Downsample(tr, 5)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Equal(tr[0]) || !out[out.Len()-1].Equal(tr[20]) {
+		t.Error("endpoints lost")
+	}
+	for i := 1; i < out.Len()-1; i++ {
+		if out[i].T-out[i-1].T < 5 {
+			t.Errorf("gap %v < 5 at %d", out[i].T-out[i-1].T, i)
+		}
+	}
+	if !out.IsSimplificationOf(tr) {
+		t.Error("downsample is not a subsequence")
+	}
+	// Tiny inputs unchanged.
+	if got := Downsample(tr.Sub(0, 1), 5); got.Len() != 2 {
+		t.Errorf("2-point input became %d", got.Len())
+	}
+}
+
+func TestClean(t *testing.T) {
+	a := gapTraj([]float64{1, 1, 99, 1, 1, 1})
+	b := gapTraj([]float64{99, 99})
+	out, err := Clean([]Trajectory{a, b}, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a splits into 3+4? points: gaps 1,1 | 99 splits; first part 3 pts,
+	// second 4 pts; b splits into 3 single points -> all dropped.
+	if len(out) != 2 {
+		t.Fatalf("kept %d parts, want 2: %v", len(out), out)
+	}
+	bad := Trajectory{geo.Pt(0, 0, 5), geo.Pt(1, 0, 1)}
+	if _, err := Clean([]Trajectory{bad}, 10, 2); err == nil {
+		t.Error("invalid input accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package traj
+
+import (
+	"fmt"
+	"strings"
+
+	"rlts/internal/geo"
+)
+
+// Stats summarizes a dataset of trajectories the way the paper's Table I
+// does: counts, sampling rate and mean inter-point distance.
+type Stats struct {
+	NumTrajectories int
+	TotalPoints     int
+	AvgPoints       float64 // average points per trajectory
+	MinSampleRate   float64 // smallest inter-point time gap observed (s)
+	MaxSampleRate   float64 // largest inter-point time gap observed (s)
+	AvgSampleRate   float64 // mean inter-point time gap (s)
+	AvgDistance     float64 // mean inter-point Euclidean distance
+}
+
+// Summarize computes dataset statistics over a slice of trajectories.
+// Empty input yields a zero Stats.
+func Summarize(ts []Trajectory) Stats {
+	var s Stats
+	s.NumTrajectories = len(ts)
+	var sumGap, sumDist float64
+	var gaps int
+	for _, t := range ts {
+		s.TotalPoints += len(t)
+		for i := 1; i < len(t); i++ {
+			gap := t[i].T - t[i-1].T
+			if gaps == 0 || gap < s.MinSampleRate {
+				s.MinSampleRate = gap
+			}
+			if gap > s.MaxSampleRate {
+				s.MaxSampleRate = gap
+			}
+			sumGap += gap
+			sumDist += geo.Dist(t[i-1], t[i])
+			gaps++
+		}
+	}
+	if s.NumTrajectories > 0 {
+		s.AvgPoints = float64(s.TotalPoints) / float64(s.NumTrajectories)
+	}
+	if gaps > 0 {
+		s.AvgSampleRate = sumGap / float64(gaps)
+		s.AvgDistance = sumDist / float64(gaps)
+	}
+	return s
+}
+
+// String renders the stats as a small aligned table row block.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# of trajectories:  %d\n", s.NumTrajectories)
+	fmt.Fprintf(&b, "Total # of points:  %d\n", s.TotalPoints)
+	fmt.Fprintf(&b, "Avg points/traj:    %.1f\n", s.AvgPoints)
+	fmt.Fprintf(&b, "Sampling rate:      %.1fs ~ %.1fs (avg %.1fs)\n",
+		s.MinSampleRate, s.MaxSampleRate, s.AvgSampleRate)
+	fmt.Fprintf(&b, "Average distance:   %.2f", s.AvgDistance)
+	return b.String()
+}

@@ -1,0 +1,135 @@
+// Package traj defines the Trajectory type shared by the whole system,
+// together with validation, summary statistics (Table I style), and CSV
+// input/output.
+package traj
+
+import (
+	"errors"
+	"fmt"
+
+	"rlts/internal/geo"
+)
+
+// Trajectory is a time-ordered sequence of spatio-temporal points.
+// The zero value is an empty trajectory.
+type Trajectory []geo.Point
+
+// ErrTooShort is returned when an operation needs more points than the
+// trajectory has (e.g. simplification needs at least two endpoints).
+var ErrTooShort = errors.New("traj: trajectory too short")
+
+// ErrNotOrdered is returned by Validate when timestamps are not strictly
+// increasing.
+var ErrNotOrdered = errors.New("traj: timestamps not strictly increasing")
+
+// ErrNotFinite is returned by Validate when a point contains NaN or Inf.
+var ErrNotFinite = errors.New("traj: non-finite coordinate")
+
+// Len returns the number of points.
+func (t Trajectory) Len() int { return len(t) }
+
+// Duration returns the time span covered by the trajectory, in seconds.
+func (t Trajectory) Duration() float64 {
+	if len(t) < 2 {
+		return 0
+	}
+	return t[len(t)-1].T - t[0].T
+}
+
+// PathLength returns the total Euclidean length along the trajectory.
+func (t Trajectory) PathLength() float64 {
+	var sum float64
+	for i := 1; i < len(t); i++ {
+		sum += geo.Dist(t[i-1], t[i])
+	}
+	return sum
+}
+
+// Sub returns the subtrajectory T[i:j] inclusive of both endpoints,
+// i.e. <p_i, ..., p_j> in the paper's notation (0-based here).
+// It shares backing storage with t.
+func (t Trajectory) Sub(i, j int) Trajectory {
+	if i < 0 || j >= len(t) || i > j {
+		panic(fmt.Sprintf("traj: Sub(%d, %d) out of range for length %d", i, j, len(t)))
+	}
+	return t[i : j+1]
+}
+
+// Clone returns a deep copy of the trajectory.
+func (t Trajectory) Clone() Trajectory {
+	c := make(Trajectory, len(t))
+	copy(c, t)
+	return c
+}
+
+// Segment returns the directed segment from point i to point j.
+func (t Trajectory) Segment(i, j int) geo.Segment {
+	return geo.Seg(t[i], t[j])
+}
+
+// Validate checks that the trajectory is usable by the simplification
+// algorithms: all points finite and timestamps strictly increasing.
+func (t Trajectory) Validate() error {
+	for i, p := range t {
+		if !p.IsFinite() {
+			return fmt.Errorf("%w: point %d = %v", ErrNotFinite, i, p)
+		}
+		if i > 0 && p.T <= t[i-1].T {
+			return fmt.Errorf("%w: point %d (t=%v) after point %d (t=%v)",
+				ErrNotOrdered, i, p.T, i-1, t[i-1].T)
+		}
+	}
+	return nil
+}
+
+// Pick returns the simplified trajectory consisting of the points of t at
+// the given (strictly increasing, 0-based) indices. It panics if the
+// indices are out of range or not strictly increasing: callers construct
+// index sets programmatically and a violation is a bug, not bad input.
+func (t Trajectory) Pick(indices []int) Trajectory {
+	out := make(Trajectory, 0, len(indices))
+	prev := -1
+	for _, ix := range indices {
+		if ix <= prev || ix >= len(t) {
+			panic(fmt.Sprintf("traj: Pick index %d invalid (prev %d, len %d)", ix, prev, len(t)))
+		}
+		out = append(out, t[ix])
+		prev = ix
+	}
+	return out
+}
+
+// Equal reports whether two trajectories are identical point for point.
+func (t Trajectory) Equal(o Trajectory) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSimplificationOf reports whether t is a valid simplified trajectory of
+// orig: a subsequence of orig that keeps orig's first and last points.
+func (t Trajectory) IsSimplificationOf(orig Trajectory) bool {
+	if len(orig) < 2 || len(t) < 2 {
+		return false
+	}
+	if !t[0].Equal(orig[0]) || !t[len(t)-1].Equal(orig[len(orig)-1]) {
+		return false
+	}
+	j := 0
+	for _, p := range t {
+		for j < len(orig) && !orig[j].Equal(p) {
+			j++
+		}
+		if j == len(orig) {
+			return false
+		}
+		j++
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+// Package viz renders trajectories and their simplifications to SVG, in
+// the visual style of the paper's Figure 7: the raw trajectory as a solid
+// blue polyline, the simplification as a dashed red polyline with kept
+// points marked, and the error in the caption.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rlts/internal/traj"
+)
+
+// Style controls the rendering. The zero value is unusable; start from
+// DefaultStyle.
+type Style struct {
+	Width, Height int
+	Padding       int
+	RawColor      string
+	SimpColor     string
+	RawWidth      float64
+	SimpWidth     float64
+	PointRadius   float64
+	FontSize      int
+}
+
+// DefaultStyle matches Figure 7: blue raw, dashed red simplification.
+func DefaultStyle() Style {
+	return Style{
+		Width:       800,
+		Height:      600,
+		Padding:     30,
+		RawColor:    "#1f4e9c",
+		SimpColor:   "#c23b22",
+		RawWidth:    1.2,
+		SimpWidth:   1.6,
+		PointRadius: 2.5,
+		FontSize:    14,
+	}
+}
+
+// Figure is one rendering: a raw trajectory with zero or more overlays.
+type Figure struct {
+	Raw      traj.Trajectory
+	Overlays []Overlay
+	Caption  string
+	Style    Style
+}
+
+// Overlay is a simplified trajectory drawn over the raw one.
+type Overlay struct {
+	T     traj.Trajectory
+	Label string
+}
+
+// NewFigure creates a figure with the default style.
+func NewFigure(raw traj.Trajectory, caption string) *Figure {
+	return &Figure{Raw: raw, Caption: caption, Style: DefaultStyle()}
+}
+
+// AddOverlay appends a simplification overlay.
+func (f *Figure) AddOverlay(t traj.Trajectory, label string) {
+	f.Overlays = append(f.Overlays, Overlay{T: t, Label: label})
+}
+
+// WriteSVG renders the figure as SVG.
+func (f *Figure) WriteSVG(w io.Writer) error {
+	if len(f.Raw) == 0 {
+		return fmt.Errorf("viz: empty raw trajectory")
+	}
+	st := f.Style
+	if st.Width <= 0 || st.Height <= 0 {
+		st = DefaultStyle()
+	}
+	minX, minY := f.Raw[0].X, f.Raw[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range f.Raw {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	pad := float64(st.Padding)
+	toPix := func(x, y float64) (float64, float64) {
+		px := pad + (x-minX)/spanX*(float64(st.Width)-2*pad)
+		py := float64(st.Height) - pad - (y-minY)/spanY*(float64(st.Height)-2*pad)
+		return px, py
+	}
+	poly := func(t traj.Trajectory) string {
+		var b strings.Builder
+		for i, p := range t {
+			x, y := toPix(p.X, p.Y)
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.1f,%.1f", x, y)
+		}
+		return b.String()
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", st.Width, st.Height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		poly(f.Raw), st.RawColor, st.RawWidth)
+	for _, ov := range f.Overlays {
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.2f" stroke-dasharray="6,4"/>`+"\n",
+			poly(ov.T), st.SimpColor, st.SimpWidth)
+		for _, p := range ov.T {
+			x, y := toPix(p.X, p.Y)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.2f" fill="%s"/>`+"\n", x, y, st.PointRadius, st.SimpColor)
+		}
+	}
+	caption := f.Caption
+	if len(f.Overlays) == 1 && f.Overlays[0].Label != "" {
+		caption = fmt.Sprintf("%s — %s", f.Overlays[0].Label, caption)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="%d">%s</text>`+"\n",
+		st.Padding, st.FontSize, escapeXML(caption))
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SaveSVG renders the figure to a file.
+func (f *Figure) SaveSVG(path string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if err := f.WriteSVG(file); err != nil {
+		return err
+	}
+	return file.Close()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,104 @@
+package viz
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rlts/internal/gen"
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+func TestWriteSVG(t *testing.T) {
+	raw := gen.New(gen.Geolife(), 1).Trajectory(100)
+	simp := raw.Pick([]int{0, 20, 50, 99})
+	f := NewFigure(raw, "eps = 1.234")
+	f.AddOverlay(simp, "RLTS")
+	var buf bytes.Buffer
+	if err := f.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "stroke-dasharray",
+		"RLTS — eps = 1.234", "circle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 4 kept points -> 4 circles.
+	if got := strings.Count(out, "<circle"); got != 4 {
+		t.Errorf("%d circles, want 4", got)
+	}
+}
+
+func TestWriteSVGEmptyRawFails(t *testing.T) {
+	f := NewFigure(nil, "x")
+	if err := f.WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty raw accepted")
+	}
+}
+
+func TestDegenerateExtent(t *testing.T) {
+	// All points identical: spans are zero; rendering must not divide by
+	// zero or emit NaN coordinates.
+	raw := traj.Trajectory{geo.Pt(5, 5, 0), geo.Pt(5, 5, 1), geo.Pt(5, 5, 2)}
+	f := NewFigure(raw, "degenerate")
+	var buf bytes.Buffer
+	if err := f.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("NaN in SVG output")
+	}
+}
+
+func TestCaptionEscaped(t *testing.T) {
+	raw := traj.Trajectory{geo.Pt(0, 0, 0), geo.Pt(1, 1, 1)}
+	f := NewFigure(raw, `err < 5 & "quoted"`)
+	var buf bytes.Buffer
+	if err := f.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `err < 5 &`) {
+		t.Error("caption not escaped")
+	}
+	if !strings.Contains(out, "&lt;") || !strings.Contains(out, "&amp;") {
+		t.Error("expected escaped entities")
+	}
+}
+
+func TestSaveSVG(t *testing.T) {
+	raw := gen.New(gen.Truck(), 2).Trajectory(50)
+	f := NewFigure(raw, "file test")
+	path := filepath.Join(t.TempDir(), "out.svg")
+	if err := f.SaveSVG(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("file does not start with <svg")
+	}
+}
+
+func TestMultipleOverlays(t *testing.T) {
+	raw := gen.New(gen.Geolife(), 3).Trajectory(60)
+	f := NewFigure(raw, "multi")
+	f.AddOverlay(raw.Pick([]int{0, 30, 59}), "a")
+	f.AddOverlay(raw.Pick([]int{0, 10, 59}), "b")
+	var buf bytes.Buffer
+	if err := f.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "stroke-dasharray"); got != 2 {
+		t.Errorf("%d dashed polylines, want 2", got)
+	}
+}

@@ -1,0 +1,48 @@
+package rlts
+
+import (
+	"rlts/internal/minsize"
+)
+
+// The Min-Size functions solve the dual of the Min-Error problem: given
+// an error bound instead of a point budget, keep as few points as
+// possible while the error stays within the bound. The paper reviews this
+// dual problem in its related work; these are library extensions, not
+// part of its evaluation.
+
+// MinSizeGreedy returns a simplification with error <= bound using
+// one-pass maximal span extension. Fast; not size-optimal.
+func MinSizeGreedy(t Trajectory, bound float64, m Measure) (Trajectory, error) {
+	kept, err := minsize.Greedy(t, bound, m)
+	if err != nil {
+		return nil, err
+	}
+	return t.Pick(kept), nil
+}
+
+// MinSizeOptimal returns a minimum-size simplification with error <=
+// bound via dynamic programming. Quadratic; use on short trajectories.
+func MinSizeOptimal(t Trajectory, bound float64, m Measure) (Trajectory, error) {
+	kept, err := minsize.Optimal(t, bound, m)
+	if err != nil {
+		return nil, err
+	}
+	return t.Pick(kept), nil
+}
+
+// MinSizeWith finds the smallest budget whose simplification by s meets
+// the bound, via binary search over W — usable with any Simplifier,
+// including a trained RLTS policy.
+func MinSizeWith(t Trajectory, bound float64, m Measure, s Simplifier) (Trajectory, error) {
+	kept, err := minsize.SearchBudget(t, bound, m, func(t Trajectory, w int) ([]int, error) {
+		out, err := s.Simplify(t, w)
+		if err != nil {
+			return nil, err
+		}
+		return KeptIndices(t, out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t.Pick(kept), nil
+}

@@ -1,0 +1,190 @@
+package rlts
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"rlts/internal/core"
+)
+
+// Policy is a trained RLTS policy bound to the options it was trained
+// for. Obtain one with Train or LoadPolicy.
+type Policy struct {
+	t *core.Trained
+	r *rand.Rand
+}
+
+// TrainConfig holds the training hyper-parameters. The zero value is
+// usable: every field defaults to the paper's setting.
+type TrainConfig struct {
+	LearningRate float64 // Adam learning rate (default 1e-3)
+	Gamma        float64 // reward discount (default 0.99)
+	Episodes     int     // episodes per trajectory per epoch (default 10)
+	Epochs       int     // passes over the training set (default 1)
+	Hidden       int     // hidden layer width (default 20)
+	WRatio       float64 // training budget as a fraction of |T| (default 0.1)
+	Seed         int64   // RNG seed (default 1)
+	Entropy      float64 // entropy-bonus coefficient (default 0 = off, as in the paper)
+	Log          io.Writer
+}
+
+// DefaultTrainConfig returns the paper's hyper-parameters.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{LearningRate: 1e-3, Gamma: 0.99, Episodes: 10, Epochs: 1, Hidden: 20, WRatio: 0.1, Seed: 1}
+}
+
+// TrainStats reports what happened during training.
+type TrainStats struct {
+	EpisodesRun int
+	StepsRun    int
+	BestReward  float64
+	FinalReward float64
+}
+
+// Train learns an RLTS policy for the given options over a repository of
+// training trajectories. The paper samples 1,000 trajectories of ~1,000
+// points and runs 10 episodes per trajectory.
+func Train(dataset []Trajectory, opts Options, cfg TrainConfig) (*Policy, TrainStats, error) {
+	to := core.DefaultTrainOptions()
+	if cfg.LearningRate > 0 {
+		to.RL.LearningRate = cfg.LearningRate
+	}
+	if cfg.Gamma > 0 {
+		to.RL.Gamma = cfg.Gamma
+	}
+	if cfg.Episodes > 0 {
+		to.RL.Episodes = cfg.Episodes
+	}
+	if cfg.Epochs > 0 {
+		to.RL.Epochs = cfg.Epochs
+	}
+	if cfg.Hidden > 0 {
+		to.RL.Hidden = cfg.Hidden
+	}
+	if cfg.WRatio > 0 {
+		to.WRatio = cfg.WRatio
+	}
+	if cfg.Seed != 0 {
+		to.RL.Seed = cfg.Seed
+	}
+	to.RL.Entropy = cfg.Entropy
+	to.RL.Log = cfg.Log
+	if cfg.Log != nil {
+		to.RL.LogEvery = 50
+	}
+	trained, res, err := core.Train(dataset, opts, to)
+	if err != nil {
+		return nil, TrainStats{}, err
+	}
+	stats := TrainStats{
+		EpisodesRun: res.EpisodesRun,
+		StepsRun:    res.StepsRun,
+		BestReward:  res.BestReward,
+		FinalReward: res.FinalReward,
+	}
+	return &Policy{t: trained, r: rand.New(rand.NewSource(to.RL.Seed))}, stats, nil
+}
+
+// Options returns the configuration the policy was trained for.
+func (p *Policy) Options() Options { return p.t.Opts }
+
+// Internal exposes the underlying trained policy for in-module consumers
+// (cmd/rlts-server); external packages cannot name the returned type's
+// package and should use the Simplifier interface instead.
+func (p *Policy) Internal() *core.Trained { return p.t }
+
+// Name returns the paper's name for the configured algorithm
+// (e.g. "RLTS-Skip+").
+func (p *Policy) Name() string { return p.t.Opts.Name() }
+
+// Simplifier returns the policy as a Simplifier, using the paper's
+// inference mode for its variant: stochastic sampling for the Online
+// variant, greedy argmax for the batch variants.
+func (p *Policy) Simplifier() Simplifier {
+	return funcSimplifier{p.Name(), func(t Trajectory, w int) ([]int, error) {
+		if err := checkW(w); err != nil {
+			return nil, err
+		}
+		return p.t.Simplify(t, w, p.r)
+	}}
+}
+
+// GreedySimplifier returns the policy as a deterministic (argmax)
+// Simplifier regardless of variant.
+func (p *Policy) GreedySimplifier() Simplifier {
+	return funcSimplifier{p.Name(), func(t Trajectory, w int) ([]int, error) {
+		if err := checkW(w); err != nil {
+			return nil, err
+		}
+		return p.t.SimplifyGreedy(t, w)
+	}}
+}
+
+// Save writes the policy (weights + options) to w as JSON.
+func (p *Policy) Save(w io.Writer) error { return p.t.Save(w) }
+
+// SaveFile writes the policy to a file.
+func (p *Policy) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.t.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPolicy reads a policy written by Save.
+func LoadPolicy(r io.Reader) (*Policy, error) {
+	t, err := core.LoadTrained(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Policy{t: t, r: rand.New(rand.NewSource(1))}, nil
+}
+
+// LoadPolicyFile reads a policy from a file.
+func LoadPolicyFile(path string) (*Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadPolicy(f)
+}
+
+// Stream is the push-based online interface: feed points as a sensor
+// produces them; the buffer always holds the current simplification.
+// Only policies of the Online variant can stream.
+type Stream struct {
+	s *core.Streamer
+}
+
+// NewStream creates a streaming simplifier with buffer budget w.
+func (p *Policy) NewStream(w int) (*Stream, error) {
+	if p.t.Opts.Variant != Online {
+		return nil, fmt.Errorf("rlts: only Online-variant policies can stream, got %s", p.Name())
+	}
+	s, err := core.NewStreamer(p.t.Policy, w, p.t.Opts, true, p.r)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{s: s}, nil
+}
+
+// Push feeds the next observed point.
+func (s *Stream) Push(pt Point) { s.s.Push(pt) }
+
+// Snapshot returns the current simplified trajectory, always ending at
+// the latest observation.
+func (s *Stream) Snapshot() Trajectory { return s.s.Snapshot() }
+
+// Seen returns how many points have been pushed.
+func (s *Stream) Seen() int { return s.s.Seen() }
+
+// BufferSize returns the number of points currently buffered.
+func (s *Stream) BufferSize() int { return s.s.BufferSize() }

@@ -1,0 +1,36 @@
+package rlts
+
+import (
+	"rlts/internal/query"
+)
+
+// Query helpers: the workloads that motivate simplification. They run on
+// raw and simplified trajectories alike, so the quality cost of a
+// simplification can be measured directly (see the "query" experiment of
+// cmd/rlts-bench).
+
+// Rect is an axis-aligned spatial region for range queries.
+type Rect = query.Rect
+
+// PositionAt returns the interpolated position of the object at time ts,
+// clamped to the trajectory's time span.
+func PositionAt(t Trajectory, ts float64) Point { return query.PositionAt(t, ts) }
+
+// WithinDuring reports whether the object's interpolated path enters r at
+// any time within [t1, t2].
+func WithinDuring(t Trajectory, r Rect, t1, t2 float64) bool {
+	return query.WithinDuring(t, r, t1, t2)
+}
+
+// NearestApproach returns the minimum distance from the object's path to
+// the query location q and the time at which it occurs.
+func NearestApproach(t Trajectory, q Point) (dist, at float64) {
+	return query.NearestApproach(t, q)
+}
+
+// DTW returns the dynamic-time-warping distance between two trajectories.
+func DTW(a, b Trajectory) float64 { return query.DTW(a, b) }
+
+// DiscreteFrechet returns the discrete Fréchet distance between two
+// trajectories.
+func DiscreteFrechet(a, b Trajectory) float64 { return query.DiscreteFrechet(a, b) }
