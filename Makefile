@@ -1,0 +1,15 @@
+GO ?= go
+
+.PHONY: test check bench-rollout
+
+test:
+	$(GO) test ./...
+
+# Full gate: vet + build + race-detector test run (exercises the parallel
+# trainer and evaluation paths).
+check:
+	sh scripts/check.sh
+
+# Regenerate the rollout-engine benchmark baseline (BENCH_rollout.json).
+bench-rollout:
+	sh scripts/bench_rollout.sh

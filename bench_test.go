@@ -1,6 +1,7 @@
 package rlts
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -161,6 +162,29 @@ func BenchmarkTrainingStep(b *testing.B) {
 		if steps == 0 {
 			b.Fatal("no steps run")
 		}
+	}
+}
+
+// BenchmarkTrainParallel measures one full training run at each worker
+// count. The policy produced is bit-identical across the sub-benchmarks
+// (see rl.TrainConfig.Workers); only the wall-clock should change, and
+// only on a multi-core runner — scripts/bench_rollout.sh records the
+// numbers with the machine's GOMAXPROCS into BENCH_rollout.json.
+func BenchmarkTrainParallel(b *testing.B) {
+	ds := gen.New(gen.Geolife(), 1).Dataset(8, 300)
+	opts := core.DefaultOptions(errm.SED, core.Online)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			to := core.DefaultTrainOptions()
+			to.RL.Episodes = 8
+			to.RL.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Train(ds, opts, to); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -29,6 +29,7 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 		verbose = flag.Bool("v", false, "log training progress")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		workers = flag.Int("workers", 0, "parallel workers for training and evaluation (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		logSink = os.Stderr
 	}
 	ctx := eval.NewContext(s, *seed, logSink)
+	ctx.Workers = *workers
 
 	exps := eval.Experiments()
 	if *exp != "all" {

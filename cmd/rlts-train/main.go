@@ -38,6 +38,7 @@ func main() {
 		lr       = flag.Float64("lr", 1e-3, "Adam learning rate")
 		gamma    = flag.Float64("gamma", 0.99, "reward discount")
 		wratio   = flag.Float64("wratio", 0.1, "training budget as a fraction of |T|")
+		workers  = flag.Int("workers", 0, "parallel rollout workers (0 = all CPUs, 1 = serial; same result either way)")
 		out      = flag.String("o", "policy.json", "output policy file")
 		verbose  = flag.Bool("v", false, "log training progress")
 	)
@@ -84,6 +85,7 @@ func main() {
 	to.RL.LearningRate = *lr
 	to.RL.Gamma = *gamma
 	to.RL.Seed = *seed
+	to.RL.Workers = *workers
 	to.WRatio = *wratio
 	if *verbose {
 		to.RL.Log = os.Stderr

@@ -53,6 +53,7 @@ func BenchmarkKLowest(b *testing.B) {
 			for e := buf.Head().Next(); e != buf.Tail(); e = e.Next() {
 				buf.SetValue(e, r.Float64())
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if got := buf.KLowest(3); len(got) != 3 {

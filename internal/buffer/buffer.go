@@ -48,6 +48,9 @@ type Buffer struct {
 	head, tail *Entry
 	heap       []*Entry
 	size       int
+
+	kout      []*Entry // KLowest result scratch, reused across calls
+	kfrontier []int    // KLowest frontier scratch, reused across calls
 }
 
 // New creates an empty buffer with capacity hint cap (the storage budget
@@ -160,6 +163,11 @@ func (b *Buffer) Min() *Entry {
 // ascending order (fewer if the heap is smaller). The cost is
 // O(k log W) using a bounded frontier walk over the heap array, leaving
 // the heap untouched.
+//
+// The returned slice is backed by a buffer-owned scratch array: it is only
+// valid until the next KLowest call on this buffer. Every caller in this
+// repository consumes it (builds a state vector or picks an entry) before
+// calling again; copy it if you need to hold on to it.
 func (b *Buffer) KLowest(k int) []*Entry {
 	if k > len(b.heap) {
 		k = len(b.heap)
@@ -167,10 +175,10 @@ func (b *Buffer) KLowest(k int) []*Entry {
 	if k == 0 {
 		return nil
 	}
-	out := make([]*Entry, 0, k)
+	out := b.kout[:0]
 	// Frontier of heap positions ordered by value; the heap property
 	// guarantees the next smallest is always on the frontier.
-	frontier := []int{0}
+	frontier := append(b.kfrontier[:0], 0)
 	for len(out) < k {
 		// Extract the frontier element with the smallest value.
 		bi := 0
@@ -189,6 +197,7 @@ func (b *Buffer) KLowest(k int) []*Entry {
 			frontier = append(frontier, r)
 		}
 	}
+	b.kout, b.kfrontier = out, frontier
 	return out
 }
 

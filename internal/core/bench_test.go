@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rlts/internal/errm"
+	"rlts/internal/rl"
+)
+
+// BenchmarkBuildState measures the decision-state construction of the
+// scanning MDP — the single hottest call of both training and inference.
+// With the env scratch warm it should not allocate.
+func BenchmarkBuildState(b *testing.B) {
+	t := smallDataset(1, 1, 2000)[0]
+	for _, name := range []string{"online", "batch-skip"} {
+		b.Run(name, func(b *testing.B) {
+			opts := DefaultOptions(errm.SED, Online)
+			if name == "batch-skip" {
+				opts = DefaultOptions(errm.SED, Plus)
+				opts.J = 2
+			}
+			env := newScanEnv(t, 200, opts, false)
+			if _, _, done := env.Reset(); done {
+				b.Fatal("degenerate episode")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _ = env.buildState()
+			}
+		})
+	}
+}
+
+// BenchmarkRolloutEpisode measures one full training episode on the real
+// scanning MDP, rewards included.
+func BenchmarkRolloutEpisode(b *testing.B) {
+	t := smallDataset(2, 1, 500)[0]
+	opts := DefaultOptions(errm.SED, Online)
+	env := newScanEnv(t, 50, opts, true)
+	r := rand.New(rand.NewSource(3))
+	p, err := rl.NewPolicy(opts.StateSize(), opts.NumActions(), 20, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rl.Rollout(env, p, r, false)
+	}
+}

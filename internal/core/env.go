@@ -30,10 +30,20 @@ type scanEnv struct {
 	i    int // original index currently being scanned
 	cand []*buffer.Entry
 	done bool
+
+	state []float64 // buildState scratch, reused every scan
+	mask  []bool    // buildState scratch, reused every scan
 }
 
 func newScanEnv(t traj.Trajectory, w int, opts Options, rewards bool) *scanEnv {
 	return &scanEnv{opts: opts, t: t, w: w, rewards: rewards}
+}
+
+// CloneEnv implements rl.EnvCloner: the trajectory is shared read-only,
+// everything mutable is rebuilt by Reset, so a fresh env over the same
+// inputs is an independent episode generator.
+func (e *scanEnv) CloneEnv() rl.Env {
+	return newScanEnv(e.t, e.w, e.opts, e.rewards)
 }
 
 // StateSize implements rl.Env.
@@ -101,12 +111,17 @@ func (e *scanEnv) valueOf(en *buffer.Entry) float64 {
 
 // buildState assembles the k lowest values (ascending) plus, for the batch
 // Skip variants, the J look-ahead skip errors, together with the legal-
-// action mask.
+// action mask. The returned slices are env-owned scratch, valid until the
+// next scan: every index is rewritten each call, and rl.Rollout copies
+// states into episode storage before stepping.
 func (e *scanEnv) buildState() ([]float64, []bool) {
 	k, j := e.opts.K, e.opts.J
 	e.cand = e.buf.KLowest(k)
-	state := make([]float64, e.opts.StateSize())
-	mask := make([]bool, e.opts.NumActions())
+	if e.state == nil {
+		e.state = make([]float64, e.opts.StateSize())
+		e.mask = make([]bool, e.opts.NumActions())
+	}
+	state, mask := e.state, e.mask
 	var pad float64
 	if len(e.cand) > 0 {
 		pad = e.cand[len(e.cand)-1].Value()
@@ -117,6 +132,7 @@ func (e *scanEnv) buildState() ([]float64, []bool) {
 			mask[a] = true
 		} else {
 			state[a] = pad
+			mask[a] = false
 		}
 	}
 	withFeatures := e.opts.Variant != Online && len(state) == k+j

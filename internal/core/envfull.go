@@ -30,10 +30,19 @@ type fullEnv struct {
 	trk  *errm.Tracker
 	cand []*buffer.Entry
 	done bool
+
+	state []float64 // buildState scratch, reused every step
+	mask  []bool    // buildState scratch, reused every step
 }
 
 func newFullEnv(t traj.Trajectory, w int, opts Options, rewards bool) *fullEnv {
 	return &fullEnv{opts: opts, t: t, w: w, rewards: rewards}
+}
+
+// CloneEnv implements rl.EnvCloner: the trajectory is shared read-only,
+// everything mutable is rebuilt by Reset.
+func (e *fullEnv) CloneEnv() rl.Env {
+	return newFullEnv(e.t, e.w, e.opts, e.rewards)
 }
 
 // StateSize implements rl.Env.
@@ -76,8 +85,11 @@ func (e *fullEnv) buildState() ([]float64, []bool) {
 		need = j
 	}
 	e.cand = e.buf.KLowest(need)
-	state := make([]float64, e.opts.StateSize())
-	mask := make([]bool, e.opts.NumActions())
+	if e.state == nil {
+		e.state = make([]float64, e.opts.StateSize())
+		e.mask = make([]bool, e.opts.NumActions())
+	}
+	state, mask := e.state, e.mask
 	var pad float64
 	if len(e.cand) > 0 {
 		pad = e.cand[len(e.cand)-1].Value()
@@ -88,6 +100,7 @@ func (e *fullEnv) buildState() ([]float64, []bool) {
 			mask[a] = true
 		} else {
 			state[a] = pad
+			mask[a] = false
 		}
 	}
 	budget := e.buf.Size() - e.w // how many more points must be dropped
@@ -128,7 +141,7 @@ func (e *fullEnv) Step(action int) ([]float64, []bool, float64, bool) {
 		if action >= len(e.cand) {
 			panic(fmt.Sprintf("core: drop action %d has no candidate (masked)", action))
 		}
-		todo = []*buffer.Entry{e.cand[action]}
+		todo = e.cand[action : action+1]
 	default:
 		s := action - k + 1
 		if s > len(e.cand) || s > e.buf.Size()-e.w {

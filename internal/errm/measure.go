@@ -9,6 +9,7 @@ package errm
 
 import (
 	"fmt"
+	"strings"
 
 	"rlts/internal/geo"
 	"rlts/internal/traj"
@@ -61,35 +62,16 @@ func (m Measure) Valid() bool { return m >= 0 && m < numMeasures }
 // Parse converts a (case-insensitive) measure name to a Measure.
 func Parse(name string) (Measure, error) {
 	switch {
-	case equalFold(name, "sed"):
+	case strings.EqualFold(name, "sed"):
 		return SED, nil
-	case equalFold(name, "ped"):
+	case strings.EqualFold(name, "ped"):
 		return PED, nil
-	case equalFold(name, "dad"):
+	case strings.EqualFold(name, "dad"):
 		return DAD, nil
-	case equalFold(name, "sad"):
+	case strings.EqualFold(name, "sad"):
 		return SAD, nil
 	}
 	return 0, fmt.Errorf("errm: unknown measure %q (want SED, PED, DAD or SAD)", name)
-}
-
-func equalFold(a, b string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := 0; i < len(a); i++ {
-		ca, cb := a[i], b[i]
-		if 'A' <= ca && ca <= 'Z' {
-			ca += 'a' - 'A'
-		}
-		if 'A' <= cb && cb <= 'Z' {
-			cb += 'a' - 'A'
-		}
-		if ca != cb {
-			return false
-		}
-	}
-	return true
 }
 
 // PointError returns eps(seg | p): the error of using the anchor segment

@@ -124,6 +124,10 @@ type Context struct {
 	Scale Scale
 	Seed  int64
 	Log   io.Writer
+	// Workers bounds the goroutines used for evaluation runs and policy
+	// training (0 = GOMAXPROCS, 1 = fully serial). Results are
+	// deterministic for any value.
+	Workers int
 
 	policies map[string]*core.Trained
 	datasets map[string][]traj.Trajectory
@@ -184,6 +188,7 @@ func (c *Context) Policy(opts core.Options) (*core.Trained, error) {
 	to.RL.Episodes = c.Scale.Episodes
 	to.RL.Epochs = c.Scale.Epochs
 	to.RL.Seed = c.Seed
+	to.RL.Workers = c.Workers
 	tr, _, err := core.Train(c.TrainData(gen.Geolife()), opts, to)
 	if err != nil {
 		return nil, fmt.Errorf("eval: training %s/%s: %w", opts.Name(), opts.Measure, err)
@@ -197,6 +202,22 @@ func (c *Context) Policy(opts core.Options) (*core.Trained, error) {
 type Algorithm struct {
 	Name string
 	Run  func(t traj.Trajectory, w int) ([]int, error)
+}
+
+// runSet evaluates an algorithm over a dataset honouring the context's
+// worker budget; the experiments call this instead of RunSet directly so a
+// single -workers flag steers the whole harness. a.Run must be safe for
+// concurrent use when the budget exceeds one worker (see rlts).
+func (c *Context) runSet(a Algorithm, data []traj.Trajectory, wRatio float64, m errm.Measure) (MeasureResult, error) {
+	return RunSetParallel(a, data, wRatio, m, c.Workers)
+}
+
+// rlts wraps a trained policy as an Algorithm for the harness. It always
+// uses the concurrency-safe wrapper — its sampling RNG derives from each
+// trajectory's identity rather than a shared stream, so the reported
+// errors are identical at every -workers setting, serial included.
+func (c *Context) rlts(tr *core.Trained) Algorithm {
+	return RLTSAlgorithmConcurrent(tr, c.Seed)
 }
 
 // RLTSAlgorithm wraps a trained policy as an Algorithm, using the paper's

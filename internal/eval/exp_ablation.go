@@ -41,6 +41,8 @@ func ExpInference(c *Context) (*Table, error) {
 					return core.Simplify(tr.Policy, t, w, opts, sample, r)
 				},
 			}
+			// Serial RunSet: the closure shares the cached policy (whose
+			// network scratch is not concurrency-safe) and one RNG.
 			res, err := RunSet(a, data, wRatio, m)
 			if err != nil {
 				return nil, err

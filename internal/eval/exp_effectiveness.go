@@ -74,10 +74,10 @@ func ExpBellman(c *Context) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			algos = append(algos, RLTSAlgorithm(tr, c.Seed))
+			algos = append(algos, c.rlts(tr))
 		}
 		for _, a := range algos {
-			res, err := RunSet(a, data, wRatio, m)
+			res, err := c.runSet(a, data, wRatio, m)
 			if err != nil {
 				return nil, err
 			}
@@ -108,12 +108,12 @@ func Fig3(c *Context) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			algos = append(algos, RLTSAlgorithm(tr, c.Seed))
+			algos = append(algos, c.rlts(tr))
 		}
 	}
 	algos = append(algos, BatchBaselines(m)...)
 	for _, a := range algos {
-		res, err := RunSet(a, data, wRatio, m)
+		res, err := c.runSet(a, data, wRatio, m)
 		if err != nil {
 			return nil, err
 		}
@@ -152,13 +152,13 @@ func Fig4(c *Context) (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				algos = append(algos, RLTSAlgorithm(tr, c.Seed))
+				algos = append(algos, c.rlts(tr))
 			}
 			algos = append(algos, g.base(m)...)
 			for _, a := range algos {
 				row := []string{g.mode, m.String(), a.Name}
 				for _, ratio := range ratios {
-					res, err := RunSet(a, data, ratio, m)
+					res, err := c.runSet(a, data, ratio, m)
 					if err != nil {
 						return nil, err
 					}
@@ -191,13 +191,14 @@ func ExpPolicy(c *Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	learned, err := RunSet(RLTSAlgorithm(tr, c.Seed), data, wRatio, m)
+	learned, err := c.runSet(c.rlts(tr), data, wRatio, m)
 	if err != nil {
 		return nil, err
 	}
 	tb.AddRow("learned (RLTS)", fmtErr(learned.MeanErr))
 
-	// Uniform-random over the k candidate actions.
+	// Uniform-random over the k candidate actions. Serial RunSet: the
+	// algorithm shares one RNG across Run calls.
 	r := rand.New(rand.NewSource(c.Seed + 7))
 	randomRes, err := RunSet(randomPolicyAlgorithm(opts, r), data, wRatio, m)
 	if err != nil {
@@ -213,6 +214,8 @@ func ExpPolicy(c *Context) (*Table, error) {
 	ua := Algorithm{Name: "untrained-net", Run: func(t traj.Trajectory, w int) ([]int, error) {
 		return core.Simplify(untrained, t, w, opts, true, r)
 	}}
+	// Serial RunSet: the closure shares one policy (whose network scratch is
+	// not concurrency-safe) and one RNG across Run calls.
 	ur, err := RunSet(ua, data, wRatio, m)
 	if err != nil {
 		return nil, err
@@ -224,7 +227,7 @@ func ExpPolicy(c *Context) (*Table, error) {
 	dm := Algorithm{Name: "drop-min", Run: func(t traj.Trajectory, w int) ([]int, error) {
 		return core.SimplifyFixedAction(t, w, opts, 0)
 	}}
-	dr, err := RunSet(dm, data, wRatio, m)
+	dr, err := c.runSet(dm, data, wRatio, m)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +252,7 @@ func ExpK(c *Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := RunSet(RLTSAlgorithm(tr, c.Seed), data, 0.1, m)
+		res, err := c.runSet(c.rlts(tr), data, 0.1, m)
 		if err != nil {
 			return nil, err
 		}
@@ -274,7 +277,7 @@ func ExpJ(c *Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := RunSet(RLTSAlgorithm(tr, c.Seed), data, 0.1, m)
+		res, err := c.runSet(c.rlts(tr), data, 0.1, m)
 		if err != nil {
 			return nil, err
 		}

@@ -36,6 +36,8 @@ func Fig5(c *Context) (*Table, error) {
 			row := []string{mode, a.Name, metric}
 			for _, n := range c.Scale.EffLens {
 				data := c.EvalData(gen.Truck(), efficiencyCount(c), n)
+				// Timing experiment: run serially so per-trajectory
+				// wall-clock is not inflated by goroutine time-slicing.
 				res, err := RunSet(a, data, c.Scale.EffFixedW, m)
 				if err != nil {
 					return err
@@ -86,6 +88,7 @@ func Fig6(c *Context) (*Table, error) {
 			}
 			row := []string{mode, a.Name, metric}
 			for _, ratio := range ratios {
+				// Timing experiment: serial for measurement fidelity.
 				res, err := RunSet(a, data, ratio, m)
 				if err != nil {
 					return err
@@ -130,7 +133,7 @@ func ExpScale(c *Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		algos = append(algos, RLTSAlgorithm(tr, c.Seed))
+		algos = append(algos, c.rlts(tr))
 	}
 	algos = append(algos, BatchBaselines(m)...)
 	for _, a := range algos {
@@ -164,7 +167,7 @@ func Fig7(c *Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		algos = append(algos, RLTSAlgorithm(p, c.Seed))
+		algos = append(algos, c.rlts(p))
 	}
 	algos = append(algos, OnlineBaselines(m)...)
 	for _, a := range algos {
@@ -187,7 +190,7 @@ func efficiencyAlgos(c *Context, m errm.Measure) (online, batch []Algorithm, err
 		if err != nil {
 			return nil, nil, err
 		}
-		online = append(online, RLTSAlgorithm(tr, c.Seed))
+		online = append(online, c.rlts(tr))
 	}
 	online = append(online, OnlineBaselines(m)...)
 	for _, j := range []int{0, 2} {
@@ -196,7 +199,7 @@ func efficiencyAlgos(c *Context, m errm.Measure) (online, batch []Algorithm, err
 		if err != nil {
 			return nil, nil, err
 		}
-		batch = append(batch, RLTSAlgorithm(tr, c.Seed))
+		batch = append(batch, c.rlts(tr))
 	}
 	batch = append(batch, BatchBaselines(m)...)
 	return online, batch, nil

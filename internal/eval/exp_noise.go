@@ -26,13 +26,13 @@ func ExpNoise(c *Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	algos := append([]Algorithm{RLTSAlgorithm(tr, c.Seed)}, OnlineBaselines(m)...)
+	algos := append([]Algorithm{c.rlts(tr)}, OnlineBaselines(m)...)
 	for _, a := range algos {
 		row := []string{a.Name}
 		for _, rate := range rates {
 			profile := gen.Geolife().WithOutliers(rate, outlierScale)
 			data := c.EvalData(profile, c.Scale.EvalTrajectories/2+1, c.Scale.EvalLen)
-			res, err := RunSet(a, data, 0.1, m)
+			res, err := c.runSet(a, data, 0.1, m)
 			if err != nil {
 				return nil, err
 			}

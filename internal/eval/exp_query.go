@@ -40,7 +40,7 @@ func ExpQuery(c *Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	algos = append(algos, RLTSAlgorithm(tr, c.Seed))
+	algos = append(algos, c.rlts(tr))
 	algos = append(algos, BatchBaselines(m)...)
 	algos = append(algos, Algorithm{Name: "Uniform", Run: func(t traj.Trajectory, w int) ([]int, error) {
 		return baseOnline.Uniform(t, w)

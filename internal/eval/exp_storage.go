@@ -25,7 +25,7 @@ func ExpStorage(c *Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	algo := RLTSAlgorithm(tr, c.Seed)
+	algo := c.rlts(tr)
 
 	var rawBytes, rawPoints int
 	for _, t := range data {

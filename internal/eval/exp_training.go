@@ -39,6 +39,7 @@ func Table2(c *Context) (*Table, error) {
 			to.RL.Episodes = c.Scale.Episodes
 			to.RL.Epochs = c.Scale.Epochs
 			to.RL.Seed = c.Seed
+			to.RL.Workers = c.Workers
 			start := time.Now()
 			tr, _, err := core.Train(ds, opts, to)
 			if err != nil {
@@ -84,13 +85,14 @@ func Fig8(c *Context) (*Table, error) {
 		to.RL.Episodes = c.Scale.Episodes
 		to.RL.Epochs = c.Scale.Epochs
 		to.RL.Seed = c.Seed
+		to.RL.Workers = c.Workers
 		start := time.Now()
 		tr, _, err := core.Train(pool[:n], opts, to)
 		if err != nil {
 			return nil, err
 		}
 		cost := time.Since(start)
-		res, err := RunSet(RLTSAlgorithm(tr, c.Seed), evalSet, 0.1, m)
+		res, err := c.runSet(c.rlts(tr), evalSet, 0.1, m)
 		if err != nil {
 			return nil, err
 		}

@@ -117,3 +117,12 @@ func (bn *BatchNorm) SetState(s []float64) {
 	copy(bn.Var, s[bn.size:])
 	bn.inited = true
 }
+
+// copyStatsFrom copies the running statistics (and their initialization
+// flag) from another layer of the same size, without allocating.
+func (bn *BatchNorm) copyStatsFrom(src *BatchNorm) {
+	checkLen("BatchNorm stats", src.size, bn.size)
+	copy(bn.Mean, src.Mean)
+	copy(bn.Var, src.Var)
+	bn.inited = src.inited
+}

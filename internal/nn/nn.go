@@ -44,6 +44,9 @@ type Layer interface {
 // Network is a sequential stack of layers producing logits.
 type Network struct {
 	Layers []Layer
+
+	params    []*Param // lazily built flat view of all layer parameters
+	normDepth int      // 1 + index of last BatchNorm layer; 0 = unknown, -1 = none
 }
 
 // Forward runs x through all layers. train selects training-time behaviour
@@ -63,13 +66,34 @@ func (n *Network) Backward(grad []float64) {
 	}
 }
 
-// Params returns all trainable parameters of the network.
-func (n *Network) Params() []*Param {
-	var ps []*Param
-	for _, l := range n.Layers {
-		ps = append(ps, l.Params()...)
+// UpdateStats runs x through the network in training mode far enough to
+// update every normalization layer's running statistics, then stops (the
+// logits are not needed). The parallel trainer uses it to absorb a batch
+// of states into the batch-norm statistics exactly once per update, after
+// all rollouts were generated against a frozen snapshot.
+func (n *Network) UpdateStats(x []float64) {
+	if n.normDepth == 0 {
+		n.normDepth = -1
+		for i, l := range n.Layers {
+			if _, ok := l.(*BatchNorm); ok {
+				n.normDepth = i + 1
+			}
+		}
 	}
-	return ps
+	for i := 0; i < n.normDepth; i++ {
+		x = n.Layers[i].Forward(x, true)
+	}
+}
+
+// Params returns all trainable parameters of the network. The slice is
+// built once and cached; layers must not be added after the first call.
+func (n *Network) Params() []*Param {
+	if n.params == nil {
+		for _, l := range n.Layers {
+			n.params = append(n.params, l.Params()...)
+		}
+	}
+	return n.params
 }
 
 // ZeroGrad clears all accumulated gradients.
@@ -77,6 +101,63 @@ func (n *Network) ZeroGrad() {
 	for _, p := range n.Params() {
 		for i := range p.Grad {
 			p.Grad[i] = 0
+		}
+	}
+}
+
+// GradSize returns the total number of gradient scalars, i.e. the length
+// FlattenGrads needs.
+func (n *Network) GradSize() int {
+	var c int
+	for _, p := range n.Params() {
+		c += len(p.Grad)
+	}
+	return c
+}
+
+// FlattenGrads copies the accumulated gradients of every parameter into
+// dst (resliced from dst[:0], so a buffer with enough capacity is reused
+// allocation-free) and returns it. Order matches AddGrads.
+func (n *Network) FlattenGrads(dst []float64) []float64 {
+	dst = dst[:0]
+	for _, p := range n.Params() {
+		dst = append(dst, p.Grad...)
+	}
+	return dst
+}
+
+// AddGrads accumulates a flat gradient vector produced by FlattenGrads
+// (typically on a replica of this network) into the parameter gradients.
+func (n *Network) AddGrads(src []float64) {
+	var off int
+	for _, p := range n.Params() {
+		g := p.Grad
+		for i := range g {
+			g[i] += src[off+i]
+		}
+		off += len(g)
+	}
+	checkLen("AddGrads input", len(src), off)
+}
+
+// SyncFrom copies all parameter values and batch-norm running statistics
+// from src into n, in place and without allocating. Both networks must
+// have been built from the same spec; the worker replicas of the parallel
+// trainer use this to refresh themselves from the master policy.
+func (n *Network) SyncFrom(src *Network) {
+	sp, dp := src.Params(), n.Params()
+	checkLen("SyncFrom params", len(dp), len(sp))
+	for i, p := range dp {
+		copy(p.Val, sp[i].Val)
+	}
+	checkLen("SyncFrom layers", len(n.Layers), len(src.Layers))
+	for i, l := range n.Layers {
+		if bn, ok := l.(*BatchNorm); ok {
+			sbn, ok := src.Layers[i].(*BatchNorm)
+			if !ok {
+				panic("nn: SyncFrom layer type mismatch")
+			}
+			bn.copyStatsFrom(sbn)
 		}
 	}
 }
@@ -93,7 +174,13 @@ func (n *Network) NumParams() int {
 // Softmax writes the softmax of logits into a new slice, using the
 // max-subtraction trick for numerical stability.
 func Softmax(logits []float64) []float64 {
-	out := make([]float64, len(logits))
+	return SoftmaxInto(make([]float64, len(logits)), logits)
+}
+
+// SoftmaxInto is Softmax writing into a caller-provided slice (len must
+// equal len(logits)), for allocation-free hot paths. dst may alias logits.
+func SoftmaxInto(dst, logits []float64) []float64 {
+	checkLen("SoftmaxInto dst", len(dst), len(logits))
 	max := math.Inf(-1)
 	for _, v := range logits {
 		if v > max {
@@ -103,20 +190,26 @@ func Softmax(logits []float64) []float64 {
 	var sum float64
 	for i, v := range logits {
 		e := math.Exp(v - max)
-		out[i] = e
+		dst[i] = e
 		sum += e
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
+	return dst
 }
 
 // MaskedSoftmax is Softmax restricted to the actions where mask[i] is
 // true; masked-out entries get probability 0. It panics if no action is
 // legal.
 func MaskedSoftmax(logits []float64, mask []bool) []float64 {
-	out := make([]float64, len(logits))
+	return MaskedSoftmaxInto(make([]float64, len(logits)), logits, mask)
+}
+
+// MaskedSoftmaxInto is MaskedSoftmax writing into a caller-provided slice
+// (len must equal len(logits)). dst may alias logits.
+func MaskedSoftmaxInto(dst, logits []float64, mask []bool) []float64 {
+	checkLen("MaskedSoftmaxInto dst", len(dst), len(logits))
 	max := math.Inf(-1)
 	any := false
 	for i, v := range logits {
@@ -131,16 +224,17 @@ func MaskedSoftmax(logits []float64, mask []bool) []float64 {
 	var sum float64
 	for i, v := range logits {
 		if !mask[i] {
+			dst[i] = 0
 			continue
 		}
 		e := math.Exp(v - max)
-		out[i] = e
+		dst[i] = e
 		sum += e
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
+	return dst
 }
 
 func checkLen(name string, got, want int) {

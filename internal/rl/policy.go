@@ -12,9 +12,17 @@ import (
 // Policy is a stochastic softmax policy pi_theta(a|s) parameterized by a
 // small MLP (Eq. 10). It owns the network together with its architecture
 // spec so it can be cloned and serialized.
+//
+// A Policy is not safe for concurrent use: the network layers and the
+// probability/gradient scratch buffers are reused across calls. The
+// parallel trainer and concurrent inference wrappers give every worker
+// its own clone.
 type Policy struct {
 	Spec nn.MLPSpec
 	Net  *nn.Network
+
+	probs []float64 // forward scratch shared by probsInto callers
+	grad  []float64 // backward scratch for accumulateStep/accumulateEntropy
 }
 
 // NewPolicy builds a policy network for the given state and action sizes
@@ -38,19 +46,33 @@ func NewPolicy(stateSize, numActions, hidden int, r *rand.Rand) (*Policy, error)
 
 // Probs returns pi(.|state) restricted to the legal actions. train
 // selects training-time forward behaviour (batch-norm statistics update).
+// The returned slice is freshly allocated; hot paths inside the package
+// use probsInto instead.
 func (p *Policy) Probs(state []float64, mask []bool, train bool) []float64 {
+	out := make([]float64, p.Spec.Out)
+	copy(out, p.probsInto(state, mask, train))
+	return out
+}
+
+// probsInto is Probs writing into the policy's scratch buffer: zero
+// allocations per call, but the result is only valid until the next
+// forward on this policy.
+func (p *Policy) probsInto(state []float64, mask []bool, train bool) []float64 {
 	logits := p.Net.Forward(state, train)
-	if mask == nil {
-		return nn.Softmax(logits)
+	if p.probs == nil {
+		p.probs = make([]float64, len(logits))
 	}
-	return nn.MaskedSoftmax(logits, mask)
+	if mask == nil {
+		return nn.SoftmaxInto(p.probs, logits)
+	}
+	return nn.MaskedSoftmaxInto(p.probs, logits, mask)
 }
 
 // Act selects an action for state: sampled from the distribution when
 // sample is true (the paper's online-mode inference), greedy argmax
 // otherwise (batch-mode inference).
 func (p *Policy) Act(state []float64, mask []bool, sample bool, r *rand.Rand) int {
-	probs := p.Probs(state, mask, false)
+	probs := p.probsInto(state, mask, false)
 	if sample {
 		return SampleAction(probs, r)
 	}
@@ -79,15 +101,16 @@ func LoadPolicy(r io.Reader) (*Policy, error) {
 // accumulated gradient is beta * p_i * (ln p_i + H). Masked actions have
 // p_i = 0 and contribute nothing.
 func (p *Policy) accumulateEntropy(state []float64, mask []bool, beta float64) {
-	probs := p.Probs(state, mask, false)
+	probs := p.probsInto(state, mask, false)
 	var h float64
 	for _, pi := range probs {
 		if pi > 0 {
 			h -= pi * math.Log(pi)
 		}
 	}
-	grad := make([]float64, len(probs))
+	grad := p.gradScratch(len(probs))
 	for i, pi := range probs {
+		grad[i] = 0
 		if pi > 0 {
 			grad[i] = beta * pi * (math.Log(pi) + h)
 		}
@@ -100,11 +123,20 @@ func (p *Policy) accumulateEntropy(state []float64, mask []bool, beta float64) {
 // Gradients are accumulated into the network; the caller applies the
 // optimizer step after the episode.
 func (p *Policy) accumulateStep(state []float64, mask []bool, action int, coeff float64) {
-	probs := p.Probs(state, mask, false)
-	grad := make([]float64, len(probs))
+	probs := p.probsInto(state, mask, false)
+	grad := p.gradScratch(len(probs))
 	for i, pi := range probs {
 		grad[i] = coeff * pi
 	}
 	grad[action] -= coeff
 	p.Net.Backward(grad)
+}
+
+// gradScratch returns the reusable output-gradient buffer, allocating it
+// on first use. Callers overwrite every element before Backward.
+func (p *Policy) gradScratch(n int) []float64 {
+	if len(p.grad) < n {
+		p.grad = make([]float64, n)
+	}
+	return p.grad[:n]
 }

@@ -58,8 +58,55 @@ type Progresser interface {
 	ProgressKey() int
 }
 
+// EnvCloner is an optional Env extension enabling parallel rollouts: a
+// clone is an independent environment over the same underlying task, so
+// several episodes can run concurrently. Clones may share read-only data
+// (e.g. the trajectory) but no mutable state. Environments that do not
+// implement it are rolled out by a single worker (the rest of the
+// training pipeline still parallelizes).
+type EnvCloner interface {
+	CloneEnv() Env
+}
+
 // Len returns the number of transitions in the episode.
 func (e *Episode) Len() int { return len(e.Actions) }
+
+// reset truncates the episode for reuse, keeping every backing array so a
+// new rollout of similar length allocates nothing.
+func (e *Episode) reset() {
+	e.States = e.States[:0]
+	e.Masks = e.Masks[:0]
+	e.Actions = e.Actions[:0]
+	e.Rewards = e.Rewards[:0]
+	e.Keys = e.Keys[:0]
+}
+
+// pushStep records a decision, copying state and mask into episode-owned
+// storage (environments are free to reuse their state buffers between
+// steps — the copy must therefore happen before Env.Step). Slices retained
+// from a previous rollout via reset are reused when large enough. The
+// reward is appended separately once Step reveals it.
+func (e *Episode) pushStep(state []float64, mask []bool, action int) {
+	n := len(e.States)
+	if n < cap(e.States) {
+		e.States = e.States[:n+1]
+		e.States[n] = append(e.States[n][:0], state...)
+	} else {
+		e.States = append(e.States, append([]float64(nil), state...))
+	}
+	if n < cap(e.Masks) {
+		e.Masks = e.Masks[:n+1]
+	} else {
+		e.Masks = append(e.Masks, nil)
+	}
+	if mask == nil {
+		// A nil mask means "all actions legal" downstream; keep it nil.
+		e.Masks[n] = nil
+	} else {
+		e.Masks[n] = append(e.Masks[n][:0], mask...)
+	}
+	e.Actions = append(e.Actions, action)
+}
 
 // TotalReward returns the undiscounted sum of rewards, which by Eq. 9
 // equals minus the final simplification error for the RLTS MDPs.
@@ -73,13 +120,22 @@ func (e *Episode) TotalReward() float64 {
 
 // Returns computes the discounted cumulative returns R_t for each step.
 func (e *Episode) Returns(gamma float64) []float64 {
-	out := make([]float64, len(e.Rewards))
+	return e.returnsInto(nil, gamma)
+}
+
+// returnsInto is Returns writing into dst (grown only when too small), so
+// the trainer can reuse one buffer per episode slot across batches.
+func (e *Episode) returnsInto(dst []float64, gamma float64) []float64 {
+	if cap(dst) < len(e.Rewards) {
+		dst = make([]float64, len(e.Rewards))
+	}
+	dst = dst[:len(e.Rewards)]
 	var acc float64
 	for i := len(e.Rewards) - 1; i >= 0; i-- {
 		acc = e.Rewards[i] + gamma*acc
-		out[i] = acc
+		dst[i] = acc
 	}
-	return out
+	return dst
 }
 
 // NormalizeReturns standardizes the returns to zero mean and unit standard

@@ -5,6 +5,9 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"rlts/internal/nn"
 )
@@ -18,6 +21,14 @@ type TrainConfig struct {
 	Epochs       int     // passes over the trajectory list; default 1
 	Hidden       int     // hidden layer width; paper: 20
 	Seed         int64   // RNG seed for init, sampling and shuffling
+	// Workers sets how many goroutines roll out episodes and accumulate
+	// gradients within each per-trajectory batch: 0 means GOMAXPROCS,
+	// 1 runs everything on the calling goroutine. The math is identical
+	// for every worker count — per-episode RNGs are derived from Seed,
+	// rollouts run against a frozen policy snapshot, and per-episode
+	// gradients merge in episode order — so the trained policy is
+	// bit-for-bit reproducible regardless of Workers.
+	Workers int
 	// Entropy adds an entropy bonus beta*H(pi(.|s)) to the objective,
 	// discouraging premature collapse onto one action. The paper does not
 	// use one (0 disables); it is provided for ablation.
@@ -54,6 +65,9 @@ func (c *TrainConfig) fillDefaults() {
 	if c.Hidden <= 0 {
 		c.Hidden = d.Hidden
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 }
 
 // TrainResult reports what training produced. Best is the snapshot with
@@ -72,34 +86,44 @@ type TrainResult struct {
 }
 
 // Rollout plays one episode of env under policy, sampling actions, and
-// returns the recorded trace. train selects training-mode forwards so the
-// batch-norm statistics learn the state distribution. If env implements
-// Progresser, per-step progress keys are recorded for the trainer's
-// return alignment.
+// returns the recorded trace. train selects training-mode forwards
+// (batch-norm statistics update); the batch trainer always rolls out with
+// train=false against a frozen snapshot and folds the statistics in once
+// per batch. If env implements Progresser, per-step progress keys are
+// recorded for the trainer's return alignment.
+//
+// States and masks are copied into episode-owned storage, so environments
+// may reuse their state buffers between steps.
 func Rollout(env Env, p *Policy, r *rand.Rand, train bool) *Episode {
 	ep := &Episode{}
+	rolloutInto(ep, env, p, r, train)
+	return ep
+}
+
+// rolloutInto is Rollout reusing a caller-owned episode's storage.
+func rolloutInto(ep *Episode, env Env, p *Policy, r *rand.Rand, train bool) {
+	ep.reset()
 	prog, hasProg := env.(Progresser)
 	state, mask, done := env.Reset()
 	for !done {
 		if hasProg {
 			ep.Keys = append(ep.Keys, prog.ProgressKey())
 		}
-		probs := p.Probs(state, mask, train)
+		probs := p.probsInto(state, mask, train)
 		a := SampleAction(probs, r)
-		next, nextMask, reward, d := env.Step(a)
-		ep.States = append(ep.States, state)
-		ep.Masks = append(ep.Masks, mask)
-		ep.Actions = append(ep.Actions, a)
+		// Copy state/mask before Step: building the next state may overwrite
+		// the environment's scratch buffers that state/mask alias.
+		ep.pushStep(state, mask, a)
+		var reward float64
+		state, mask, reward, done = env.Step(a)
 		ep.Rewards = append(ep.Rewards, reward)
-		state, mask, done = next, nextMask, d
 	}
-	return ep
 }
 
 // Train runs REINFORCE over a stream of environments. envs yields one Env
 // per training trajectory (the caller typically wraps a dataset); for each
 // it generates cfg.Episodes episodes and applies one optimizer update per
-// episode. It returns the best policy observed.
+// batch. It returns the best policy observed.
 func Train(envs []Env, cfg TrainConfig) (*TrainResult, error) {
 	cfg.fillDefaults()
 	if len(envs) == 0 {
@@ -115,6 +139,11 @@ func Train(envs []Env, cfg TrainConfig) (*TrainResult, error) {
 
 // TrainPolicy is Train with a caller-supplied initial policy, allowing
 // warm starts and architecture experiments.
+//
+// Within each per-trajectory batch the cfg.Episodes rollouts are
+// independent given a frozen policy snapshot, so they are fanned out over
+// cfg.Workers goroutines; see TrainConfig.Workers for the determinism
+// guarantee.
 func TrainPolicy(p *Policy, envs []Env, cfg TrainConfig) (*TrainResult, error) {
 	cfg.fillDefaults()
 	if len(envs) == 0 {
@@ -126,33 +155,11 @@ func TrainPolicy(p *Policy, envs []Env, cfg TrainConfig) (*TrainResult, error) {
 				env.StateSize(), env.NumActions(), p.Spec.In, p.Spec.Out)
 		}
 	}
-	r := rand.New(rand.NewSource(cfg.Seed))
-	adam := nn.NewAdam(p.Net.Params(), cfg.LearningRate)
-
-	res := &TrainResult{Best: p.Clone(), BestReward: math.Inf(-1)}
+	eng := newEngine(p, cfg)
+	res := &TrainResult{BestReward: math.Inf(-1)}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		for ti, env := range envs {
-			// Generate the trajectory's episode batch under the current
-			// policy; one optimizer update per batch.
-			batch := make([]*Episode, 0, cfg.Episodes)
-			for e := 0; e < cfg.Episodes; e++ {
-				ep := Rollout(env, p, r, true)
-				if ep.Len() == 0 {
-					continue
-				}
-				batch = append(batch, ep)
-				res.EpisodesRun++
-				res.StepsRun += ep.Len()
-				total := ep.TotalReward()
-				res.FinalReward = total
-				if total > res.BestReward {
-					res.BestReward = total
-					res.Best = p.Clone()
-				}
-			}
-			if len(batch) > 0 {
-				updateBatch(p, adam, batch, cfg.Gamma, cfg.Entropy)
-			}
+			eng.runBatch(env, res)
 			if cfg.Log != nil && cfg.LogEvery > 0 && (ti+1)%cfg.LogEvery == 0 {
 				fmt.Fprintf(cfg.Log, "rl: epoch %d, trajectory %d/%d, best reward %.4f, last %.4f\n",
 					epoch+1, ti+1, len(envs), res.BestReward, res.FinalReward)
@@ -160,38 +167,288 @@ func TrainPolicy(p *Policy, envs []Env, cfg TrainConfig) (*TrainResult, error) {
 		}
 	}
 	res.Final = p
+	if res.Best == nil {
+		// No episode ever ran (all environments degenerate): the policy is
+		// unchanged, so the final weights are also the best seen.
+		res.Best = p.Clone()
+	}
 	return res, nil
 }
 
-// updateBatch applies one REINFORCE update from a batch of episodes rolled
-// out on the same trajectory. Returns are normalized per *position* across
-// the batch (Eq. 11's \hat R_t and sigma_t): the baseline at a position is
-// the mean return over the episodes at that same position, which removes
-// the strong positional trend the returns carry (simplification errors
-// only accumulate, so a whole-episode baseline would mostly encode "early
+// engine is the per-TrainPolicy-run rollout and update machinery: worker
+// replicas of the policy, reusable episode and gradient storage, and the
+// running episode counter that seeds per-episode RNGs.
+type engine struct {
+	master *Policy
+	adam   *nn.Adam
+	cfg    TrainConfig
+
+	workers []*trainWorker
+	eps     []*Episode  // cfg.Episodes slots, storage reused across batches
+	grads   [][]float64 // per-episode flattened gradients, merged in order
+	steps   []int       // per-episode gradient step counts
+	coeffs  [][]float64 // per-episode REINFORCE coefficients
+	returns [][]float64 // per-episode discounted returns
+	epSeq   uint64      // episodes started so far; seeds per-episode RNGs
+}
+
+// trainWorker owns everything one rollout/gradient goroutine touches: a
+// full policy replica (network weights, batch-norm statistics and forward
+// workspace), a reseedable RNG and, during the rollout phase, a cloned
+// environment.
+type trainWorker struct {
+	policy *Policy
+	rng    *rand.Rand
+	env    Env
+}
+
+func newEngine(p *Policy, cfg TrainConfig) *engine {
+	eng := &engine{
+		master:  p,
+		adam:    nn.NewAdam(p.Net.Params(), cfg.LearningRate),
+		cfg:     cfg,
+		eps:     make([]*Episode, cfg.Episodes),
+		grads:   make([][]float64, cfg.Episodes),
+		steps:   make([]int, cfg.Episodes),
+		coeffs:  make([][]float64, cfg.Episodes),
+		returns: make([][]float64, cfg.Episodes),
+	}
+	for i := range eng.eps {
+		eng.eps[i] = &Episode{}
+	}
+	nw := cfg.Workers
+	if nw > cfg.Episodes {
+		nw = cfg.Episodes
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	eng.workers = make([]*trainWorker, nw)
+	for i := range eng.workers {
+		eng.workers[i] = &trainWorker{
+			policy: p.Clone(),
+			rng:    rand.New(rand.NewSource(0)),
+		}
+	}
+	return eng
+}
+
+// deriveSeed maps (master seed, episode index) to an independent RNG seed
+// with a splitmix64-style mix, so episode e always samples the same action
+// stream no matter which worker runs it.
+func deriveSeed(master int64, episode uint64) int64 {
+	z := uint64(master) + 0x9e3779b97f4a7c15*(episode+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// syncWorkers refreshes every replica from the master policy (weights and
+// batch-norm statistics), in place.
+func (g *engine) syncWorkers() {
+	for _, w := range g.workers {
+		w.policy.Net.SyncFrom(g.master.Net)
+	}
+}
+
+// parallel runs fn(worker, e) for e in [0, n) over up to nw workers.
+// Episodes are claimed with an atomic counter, so worker assignment is
+// scheduling-dependent — which is fine, because fn's output for episode e
+// must not depend on the worker (replicas are bit-identical).
+func (g *engine) parallel(nw, n int, fn func(w *trainWorker, e int)) {
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		for e := 0; e < n; e++ {
+			fn(g.workers[0], e)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func(w *trainWorker) {
+			defer wg.Done()
+			for {
+				e := int(next.Add(1))
+				if e >= n {
+					return
+				}
+				fn(w, e)
+			}
+		}(g.workers[i])
+	}
+	wg.Wait()
+}
+
+// runBatch generates one batch of episodes on env and applies one
+// REINFORCE update. The phases are:
+//
+//  1. sync replicas to the master (the frozen snapshot for this batch);
+//  2. parallel rollouts with per-episode RNGs, train=false forwards;
+//  3. serial bookkeeping: reward stats, lazy best-policy clone (at most
+//     one per batch), batch-norm running statistics updated once from the
+//     collected states in episode order;
+//  4. re-sync replicas (they need the updated statistics);
+//  5. parallel per-episode gradient accumulation on the replicas;
+//  6. serial merge of the per-episode gradients in episode order and a
+//     single Adam step.
+//
+// Every floating-point operation happens either serially on the master or
+// per-episode on a replica that is bit-identical to the master, so the
+// result does not depend on the worker count.
+func (g *engine) runBatch(env Env, res *TrainResult) {
+	numEp := g.cfg.Episodes
+	g.syncWorkers()
+
+	// Environment clones for the rollout phase (refreshed every batch — the
+	// environment changes per trajectory). Without EnvCloner only one worker
+	// rolls out (serially); the gradient phase still parallelizes.
+	rolloutWorkers := len(g.workers)
+	g.workers[0].env = env
+	if cloner, ok := env.(EnvCloner); ok {
+		for i := 1; i < rolloutWorkers; i++ {
+			g.workers[i].env = cloner.CloneEnv()
+		}
+	} else {
+		rolloutWorkers = 1
+	}
+
+	seqBase := g.epSeq
+	g.epSeq += uint64(numEp)
+	g.parallel(rolloutWorkers, numEp, func(w *trainWorker, e int) {
+		w.rng.Seed(deriveSeed(g.cfg.Seed, seqBase+uint64(e)))
+		rolloutInto(g.eps[e], w.env, w.policy, w.rng, false)
+	})
+
+	// Serial bookkeeping over the collected episodes, in episode order.
+	batchBest := math.Inf(-1)
+	nonEmpty := 0
+	for _, ep := range g.eps {
+		if ep.Len() == 0 {
+			continue
+		}
+		nonEmpty++
+		res.EpisodesRun++
+		res.StepsRun += ep.Len()
+		total := ep.TotalReward()
+		res.FinalReward = total
+		if total > batchBest {
+			batchBest = total
+		}
+	}
+	if nonEmpty == 0 {
+		return
+	}
+	if batchBest > res.BestReward {
+		// Snapshot lazily, at most once per batch: the rollouts all ran
+		// against the same frozen policy, so one clone covers every episode
+		// of the batch.
+		res.BestReward = batchBest
+		res.Best = g.master.Clone()
+	}
+
+	// Fold the batch's state distribution into the batch-norm running
+	// statistics, once, in episode order.
+	for _, ep := range g.eps {
+		for _, s := range ep.States {
+			g.master.Net.UpdateStats(s)
+		}
+	}
+	g.syncWorkers()
+
+	g.computeCoeffs()
+
+	// Per-episode gradient accumulation on the replicas.
+	g.parallel(len(g.workers), numEp, func(w *trainWorker, e int) {
+		ep := g.eps[e]
+		g.steps[e] = 0
+		if ep.Len() == 0 {
+			return
+		}
+		w.policy.Net.ZeroGrad()
+		for t := 0; t < ep.Len(); t++ {
+			g.steps[e]++
+			if c := g.coeffs[e][t]; c != 0 {
+				w.policy.accumulateStep(ep.States[t], ep.Masks[t], ep.Actions[t], c)
+			}
+			if g.cfg.Entropy > 0 {
+				w.policy.accumulateEntropy(ep.States[t], ep.Masks[t], g.cfg.Entropy)
+			}
+		}
+		if g.grads[e] == nil {
+			g.grads[e] = make([]float64, 0, w.policy.Net.GradSize())
+		}
+		g.grads[e] = w.policy.Net.FlattenGrads(g.grads[e])
+	})
+
+	// Merge shards in episode order and take the single Adam step.
+	g.master.Net.ZeroGrad()
+	var steps int
+	for e := 0; e < numEp; e++ {
+		if g.steps[e] == 0 {
+			continue
+		}
+		g.master.Net.AddGrads(g.grads[e])
+		steps += g.steps[e]
+	}
+	if steps > 0 {
+		g.adam.Step(float64(steps))
+	}
+}
+
+// computeCoeffs fills g.coeffs with the batch's per-step REINFORCE
+// coefficients, reusing the engine's return and coefficient buffers.
+func (g *engine) computeCoeffs() {
+	batchCoeffs(g.eps, g.cfg.Gamma, g.coeffs, g.returns)
+}
+
+// batchCoeffs computes the per-step REINFORCE coefficients of a batch:
+// discounted returns normalized per *position* across the batch (Eq. 11's
+// \hat R_t and sigma_t). The baseline at a position is the mean return
+// over the episodes at that same position, which removes the strong
+// positional trend the returns carry (simplification errors only
+// accumulate, so a whole-episode baseline would mostly encode "early
 // actions look bad", not action quality).
 //
 // Position is the episode's progress key when the environment provides one
 // (equal scan index for the RLTS MDPs, so episodes that skipped different
 // numbers of points still compare like with like), falling back to the
 // step index otherwise.
-func updateBatch(p *Policy, adam *nn.Adam, batch []*Episode, gamma, entropy float64) {
-	returns := make([][]float64, len(batch))
-	coeffs := make([][]float64, len(batch))
-	for i, ep := range batch {
-		returns[i] = ep.Returns(gamma)
-		coeffs[i] = make([]float64, ep.Len())
+//
+// coeffs and returns are per-episode output buffers of len(eps), resized
+// in place (grown only when too small).
+func batchCoeffs(eps []*Episode, gamma float64, coeffs, returns [][]float64) {
+	for e, ep := range eps {
+		returns[e] = ep.returnsInto(returns[e], gamma)
+		c := coeffs[e]
+		if cap(c) < ep.Len() {
+			c = make([]float64, ep.Len())
+		}
+		c = c[:ep.Len()]
+		for i := range c {
+			c[i] = 0
+		}
+		coeffs[e] = c
 	}
-	// Group step references by position.
+	// Group step references by position. Groups touch disjoint coefficient
+	// entries and each group's statistics are accumulated in episode order,
+	// so map iteration order does not affect the result.
 	type ref struct{ ep, t int }
 	groups := make(map[int][]ref)
-	for i, ep := range batch {
+	for e, ep := range eps {
 		for t := 0; t < ep.Len(); t++ {
 			key := t
 			if len(ep.Keys) == ep.Len() {
 				key = ep.Keys[t]
 			}
-			groups[key] = append(groups[key], ref{i, t})
+			groups[key] = append(groups[key], ref{e, t})
 		}
 	}
 	for _, refs := range groups {
@@ -216,13 +473,22 @@ func updateBatch(p *Policy, adam *nn.Adam, batch []*Episode, gamma, entropy floa
 			coeffs[rf.ep][rf.t] = (returns[rf.ep][rf.t] - mean) / std
 		}
 	}
+}
+
+// updateBatch applies one REINFORCE update from a batch of episodes to p,
+// entirely serially: the reference implementation the parallel engine must
+// reproduce bit for bit, kept for tests and as executable documentation.
+func updateBatch(p *Policy, adam *nn.Adam, batch []*Episode, gamma, entropy float64) {
+	coeffs := make([][]float64, len(batch))
+	returns := make([][]float64, len(batch))
+	batchCoeffs(batch, gamma, coeffs, returns)
 	p.Net.ZeroGrad()
 	var steps int
-	for i, ep := range batch {
+	for e, ep := range batch {
 		for t := 0; t < ep.Len(); t++ {
 			steps++
-			if coeffs[i][t] != 0 {
-				p.accumulateStep(ep.States[t], ep.Masks[t], ep.Actions[t], coeffs[i][t])
+			if c := coeffs[e][t]; c != 0 {
+				p.accumulateStep(ep.States[t], ep.Masks[t], ep.Actions[t], c)
 			}
 			if entropy > 0 {
 				p.accumulateEntropy(ep.States[t], ep.Masks[t], entropy)

@@ -26,6 +26,7 @@ type TrainConfig struct {
 	Hidden       int     // hidden layer width (default 20)
 	WRatio       float64 // training budget as a fraction of |T| (default 0.1)
 	Seed         int64   // RNG seed (default 1)
+	Workers      int     // parallel rollout workers (default 0 = GOMAXPROCS, 1 = serial); any value trains the same policy
 	Entropy      float64 // entropy-bonus coefficient (default 0 = off, as in the paper)
 	Log          io.Writer
 }
@@ -69,6 +70,7 @@ func Train(dataset []Trajectory, opts Options, cfg TrainConfig) (*Policy, TrainS
 	if cfg.Seed != 0 {
 		to.RL.Seed = cfg.Seed
 	}
+	to.RL.Workers = cfg.Workers
 	to.RL.Entropy = cfg.Entropy
 	to.RL.Log = cfg.Log
 	if cfg.Log != nil {

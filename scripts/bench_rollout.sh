@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerates BENCH_rollout.json: the rollout-engine benchmark baseline.
+#
+# BenchmarkTrainParallel trains the same policy (bit-identical output) at
+# workers=1/2/4; the speedup column is only meaningful when GOMAXPROCS > 1.
+# The micro benches document the zero-allocation hot paths.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== TrainParallel (GOMAXPROCS=$(go env GOMAXPROCS 2>/dev/null || nproc)) =="
+go test . -run xxx -bench BenchmarkTrainParallel -benchmem -benchtime 3x
+echo "== Hot-path allocation benches =="
+go test ./internal/rl/ -run xxx -bench 'Rollout|ProbsInto' -benchmem
+go test ./internal/core/ -run xxx -bench BenchmarkBuildState -benchmem
+go test ./internal/buffer/ -run xxx -bench BenchmarkKLowest -benchmem
+echo
+echo "Update BENCH_rollout.json with the numbers above and the machine's"
+echo "CPU count; on a single-core runner the workers sweep is flat by"
+echo "construction."

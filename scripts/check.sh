@@ -1,0 +1,14 @@
+#!/bin/sh
+# Full verification gate: vet, build, and the test suite under the race
+# detector (which exercises the parallel trainer and the parallel
+# evaluation harness). This is what `make check` runs.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+echo "== go build =="
+go build ./...
+echo "== go test -race =="
+go test -race ./...
+echo "check: OK"
