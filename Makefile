@@ -6,7 +6,8 @@ test:
 	$(GO) test ./...
 
 # Full gate: vet + build + race-detector test run (exercises the parallel
-# trainer and evaluation paths).
+# trainer and evaluation paths) + a fuzz smoke pass over every fuzz
+# target (override the per-target budget with FUZZTIME=30s).
 check:
 	sh scripts/check.sh
 

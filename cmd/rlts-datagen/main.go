@@ -12,9 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rlts/internal/gen"
+	"rlts/internal/storage"
 	"rlts/internal/traj"
 )
 
@@ -47,17 +49,15 @@ func main() {
 		ds = g.Dataset(*count, *length)
 	}
 
-	w := os.Stdout
+	var err error
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rlts-datagen: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
+		err = storage.WriteAtomic(*out, func(w io.Writer) error {
+			return traj.WriteCSV(w, ds)
+		})
+	} else {
+		err = traj.WriteCSV(os.Stdout, ds)
 	}
-	if err := traj.WriteCSV(w, ds); err != nil {
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "rlts-datagen: write: %v\n", err)
 		os.Exit(1)
 	}

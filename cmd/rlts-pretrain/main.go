@@ -17,6 +17,7 @@ import (
 	"rlts/internal/core"
 	"rlts/internal/errm"
 	"rlts/internal/gen"
+	"rlts/internal/storage"
 )
 
 func main() {
@@ -48,14 +49,7 @@ func main() {
 				fail(err)
 			}
 			path := filepath.Join(*out, variant.name+"_"+strings.ToLower(m.String())+".json")
-			f, err := os.Create(path)
-			if err != nil {
-				fail(err)
-			}
-			if err := trained.Save(f); err != nil {
-				fail(err)
-			}
-			if err := f.Close(); err != nil {
+			if err := storage.WriteAtomic(path, trained.Save); err != nil {
 				fail(err)
 			}
 			fmt.Printf("%s: %d transitions in %v\n", path, res.StepsRun, time.Since(start).Round(time.Millisecond))

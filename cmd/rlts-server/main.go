@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"rlts"
@@ -23,7 +26,13 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		maxConc = flag.Int("max-concurrent", server.DefaultMaxConcurrent, "simultaneous requests before 429 load shedding (negative = unlimited)")
+		reqTO   = flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline (negative = none)")
+		maxPts  = flag.Int("max-points", server.DefaultMaxPoints, "largest trajectory accepted per request (negative = unlimited)")
+		drain   = flag.Duration("drain-timeout", server.DefaultDrainTimeout, "how long in-flight requests may finish after SIGTERM")
+	)
 	flag.Parse()
 
 	var policies []*core.Trained
@@ -37,18 +46,28 @@ func main() {
 			policies = append(policies, trainedOf(p))
 		}
 	}
+	cfg := server.Config{
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *reqTO,
+		MaxPoints:      *maxPts,
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(policies).Handler(),
+		Handler:           server.NewWith(policies, cfg).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      2 * time.Minute,
 	}
+	// SIGTERM/SIGINT stop accepting connections and drain in-flight
+	// requests instead of dropping them mid-simplification.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	fmt.Fprintf(os.Stderr, "rlts-server: %d policies loaded, listening on %s\n", len(policies), *addr)
-	if err := srv.ListenAndServe(); err != nil {
+	if err := server.Serve(ctx, srv, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "rlts-server: %v\n", err)
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, "rlts-server: drained, bye")
 }
 
 // trainedOf unwraps the public Policy into the internal representation

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"time"
@@ -22,6 +23,7 @@ import (
 	baseOnline "rlts/internal/baseline/online"
 	"rlts/internal/core"
 	"rlts/internal/errm"
+	"rlts/internal/storage"
 	"rlts/internal/traj"
 )
 
@@ -98,14 +100,10 @@ func main() {
 		totalDur.Round(time.Microsecond), float64(totalDur.Microseconds())/float64(points))
 
 	if *out != "" {
-		of, err := os.Create(*out)
+		err := storage.WriteAtomic(*out, func(w io.Writer) error {
+			return traj.WriteCSV(w, results)
+		})
 		if err != nil {
-			fail(err)
-		}
-		if err := traj.WriteCSV(of, results); err != nil {
-			fail(err)
-		}
-		if err := of.Close(); err != nil {
 			fail(err)
 		}
 		fmt.Printf("written:        %s\n", *out)

@@ -8,17 +8,27 @@
 //
 //	rlts-train -gen geolife -count 200 -len 500 -measure SED -variant rlts+ -o policy.json
 //	rlts-train -in trips.csv -measure DAD -variant rlts -j 2 -epochs 3 -o policy.json
+//
+// Long runs can checkpoint themselves and be resumed after a crash with
+// the bit-identical result of an uninterrupted run (same data flags and
+// hyper-parameters required):
+//
+//	rlts-train -gen geolife -count 1000 -checkpoint train.ckpt -o policy.json
+//	rlts-train -gen geolife -count 1000 -checkpoint train.ckpt -resume -o policy.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"rlts/internal/core"
 	"rlts/internal/errm"
 	"rlts/internal/gen"
+	"rlts/internal/rl"
+	"rlts/internal/storage"
 	"rlts/internal/traj"
 )
 
@@ -39,6 +49,9 @@ func main() {
 		gamma    = flag.Float64("gamma", 0.99, "reward discount")
 		wratio   = flag.Float64("wratio", 0.1, "training budget as a fraction of |T|")
 		workers  = flag.Int("workers", 0, "parallel rollout workers (0 = all CPUs, 1 = serial; same result either way)")
+		ckpt     = flag.String("checkpoint", "", "checkpoint file, atomically rewritten during training (empty = no checkpointing)")
+		ckptN    = flag.Int("checkpoint-every", 1, "batches between checkpoint writes")
+		resume   = flag.Bool("resume", false, "continue from -checkpoint instead of starting fresh (needs identical data flags)")
 		out      = flag.String("o", "policy.json", "output policy file")
 		verbose  = flag.Bool("v", false, "log training progress")
 	)
@@ -86,30 +99,49 @@ func main() {
 	to.RL.Gamma = *gamma
 	to.RL.Seed = *seed
 	to.RL.Workers = *workers
+	to.RL.Checkpoint = *ckpt
+	to.RL.CheckpointEvery = *ckptN
 	to.WRatio = *wratio
 	if *verbose {
 		to.RL.Log = os.Stderr
 		to.RL.LogEvery = 50
 	}
+	if *resume && *ckpt == "" {
+		fail(fmt.Errorf("-resume needs -checkpoint to name the checkpoint file"))
+	}
 
-	fmt.Fprintf(os.Stderr, "rlts-train: training %s/%s (k=%d, J=%d) on %d trajectories\n",
-		opts.Name(), m, *k, *j, len(dataset))
+	var (
+		trained *core.Trained
+		res     *rl.TrainResult
+	)
 	start := time.Now()
-	trained, res, err := core.Train(dataset, opts, to)
+	if *resume {
+		fmt.Fprintf(os.Stderr, "rlts-train: resuming %s/%s from %s\n", opts.Name(), m, *ckpt)
+		trained, res, err = core.ResumeTrain(dataset, opts, to)
+	} else {
+		fmt.Fprintf(os.Stderr, "rlts-train: training %s/%s (k=%d, J=%d) on %d trajectories\n",
+			opts.Name(), m, *k, *j, len(dataset))
+		trained, res, err = core.Train(dataset, opts, to)
+	}
 	if err != nil {
+		if *ckpt != "" {
+			fmt.Fprintf(os.Stderr, "rlts-train: run aborted; resume with the same flags plus -resume (checkpoint: %s)\n", *ckpt)
+		}
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "rlts-train: %d episodes, %d transitions in %v (best episode reward %.4f)\n",
 		res.EpisodesRun, res.StepsRun, time.Since(start).Round(time.Millisecond), res.BestReward)
+	if !res.Health.Ok() {
+		fmt.Fprintf(os.Stderr, "rlts-train: WARNING: divergence guards fired (%d rollout skips, %d gradient skips, %d rollbacks); policy is the last good state\n",
+			res.Health.RolloutSkips, res.Health.GradSkips, res.Health.Rollbacks)
+		for _, ev := range res.Health.Events {
+			fmt.Fprintf(os.Stderr, "rlts-train:   batch %d: %s: %s\n", ev.Batch, ev.Kind, ev.Detail)
+		}
+	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fail(err)
-	}
-	if err := trained.Save(f); err != nil {
-		fail(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := storage.WriteAtomic(*out, func(w io.Writer) error {
+		return trained.Save(w)
+	}); err != nil {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "rlts-train: policy written to %s\n", *out)

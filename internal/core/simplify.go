@@ -1,12 +1,19 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"rlts/internal/rl"
 	"rlts/internal/traj"
 )
+
+// ctxCheckEvery is how many MDP steps pass between context checks in
+// SimplifyCtx: frequent enough that cancellation lands within microseconds
+// on any trajectory, rare enough to keep the per-step cost invisible next
+// to the policy forward pass.
+const ctxCheckEvery = 64
 
 // Simplify runs the configured RLTS algorithm over t with storage budget w
 // using the given policy and returns the kept original indices (always
@@ -16,6 +23,14 @@ import (
 // policy in the online mode and takes the argmax in the batch mode). r is
 // only used when sample is true and may be nil otherwise.
 func Simplify(p *rl.Policy, t traj.Trajectory, w int, opts Options, sample bool, r *rand.Rand) ([]int, error) {
+	return SimplifyCtx(context.Background(), p, t, w, opts, sample, r)
+}
+
+// SimplifyCtx is Simplify honoring a context: when ctx is canceled or its
+// deadline passes, the scan stops promptly and ctx.Err() is returned
+// (wrapped, so errors.Is(err, context.Canceled) and friends work). The
+// HTTP service uses it to make slow simplification requests cancellable.
+func SimplifyCtx(ctx context.Context, p *rl.Policy, t traj.Trajectory, w int, opts Options, sample bool, r *rand.Rand) ([]int, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -34,7 +49,12 @@ func Simplify(p *rl.Policy, t traj.Trajectory, w int, opts Options, sample bool,
 	}
 	env := newEnv(t, w, opts, false)
 	state, mask, done := env.Reset()
-	for !done {
+	for step := 0; !done; step++ {
+		if step%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: simplify: %w", err)
+			}
+		}
 		a := p.Act(state, mask, sample, r)
 		state, mask, _, done = env.Step(a)
 	}

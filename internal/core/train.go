@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -56,19 +57,9 @@ func Train(dataset []traj.Trajectory, opts Options, to TrainOptions) (*Trained, 
 		return nil, nil, err
 	}
 	to.fillDefaults()
-	if len(dataset) == 0 {
-		return nil, nil, fmt.Errorf("core: empty training dataset")
-	}
-	envs := make([]rl.Env, 0, len(dataset))
-	for _, t := range dataset {
-		w := trainBudget(len(t), to)
-		if len(t) <= w {
-			continue // nothing to learn from
-		}
-		envs = append(envs, newEnv(t, w, opts, true))
-	}
-	if len(envs) == 0 {
-		return nil, nil, fmt.Errorf("core: no usable training trajectories (all shorter than W)")
+	envs, err := buildTrainEnvs(dataset, opts, to)
+	if err != nil {
+		return nil, nil, err
 	}
 	r := rand.New(rand.NewSource(to.RL.Seed))
 	hidden := to.RL.Hidden
@@ -89,6 +80,61 @@ func Train(dataset []traj.Trajectory, opts Options, to TrainOptions) (*Trained, 
 	// snapshot tends to capture an easy trajectory rather than a good
 	// policy when the training repository is heterogeneous.
 	return &Trained{Opts: opts, Policy: res.Final}, res, nil
+}
+
+// ResumeTrain continues a Train run that checkpointed itself (TrainOptions
+// with RL.Checkpoint set) and was interrupted. dataset and opts must be
+// those of the original run: the environments are rebuilt from them the
+// same deterministic way, so the resumed run finishes with the
+// bit-identical policy of an uninterrupted one. Checkpointing stays active
+// under the same path, so a resumed run that crashes again can itself be
+// resumed.
+func ResumeTrain(dataset []traj.Trajectory, opts Options, to TrainOptions) (*Trained, *rl.TrainResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	to.fillDefaults()
+	if to.RL.Checkpoint == "" {
+		return nil, nil, fmt.Errorf("core: resume needs TrainOptions.RL.Checkpoint to name the checkpoint file")
+	}
+	ck, err := rl.ReadCheckpointFile(to.RL.Checkpoint)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ck.Policy.Spec.In != opts.StateSize() || ck.Policy.Spec.Out != opts.NumActions() {
+		return nil, nil, fmt.Errorf("core: checkpoint policy shape (%d in, %d out) does not match options %s (want %d, %d)",
+			ck.Policy.Spec.In, ck.Policy.Spec.Out, opts.Name(), opts.StateSize(), opts.NumActions())
+	}
+	envs, err := buildTrainEnvs(dataset, opts, to)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := rl.ResumePolicy(ck, envs, to.RL)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Trained{Opts: opts, Policy: res.Final}, res, nil
+}
+
+// buildTrainEnvs constructs the per-trajectory training environments.
+// Deterministic in its inputs: Train and ResumeTrain must see identical
+// environment sequences for checkpoint resume to replay the original run.
+func buildTrainEnvs(dataset []traj.Trajectory, opts Options, to TrainOptions) ([]rl.Env, error) {
+	if len(dataset) == 0 {
+		return nil, fmt.Errorf("core: empty training dataset")
+	}
+	envs := make([]rl.Env, 0, len(dataset))
+	for _, t := range dataset {
+		w := trainBudget(len(t), to)
+		if len(t) <= w {
+			continue // nothing to learn from
+		}
+		envs = append(envs, newEnv(t, w, opts, true))
+	}
+	if len(envs) == 0 {
+		return nil, fmt.Errorf("core: no usable training trajectories (all shorter than W)")
+	}
+	return envs, nil
 }
 
 // initSkipBias starts the skip actions rare: a skipped point can never be
@@ -130,10 +176,24 @@ func (tr *Trained) Simplify(t traj.Trajectory, w int, r *rand.Rand) ([]int, erro
 	return Simplify(tr.Policy, t, w, tr.Opts, sample, r)
 }
 
+// SimplifyCtx is Simplify honoring a context for cancellation.
+func (tr *Trained) SimplifyCtx(ctx context.Context, t traj.Trajectory, w int, r *rand.Rand) ([]int, error) {
+	sample := tr.Opts.Variant == Online
+	if sample && r == nil {
+		r = rand.New(rand.NewSource(0))
+	}
+	return SimplifyCtx(ctx, tr.Policy, t, w, tr.Opts, sample, r)
+}
+
 // SimplifyGreedy applies the trained policy deterministically (argmax),
 // regardless of variant.
 func (tr *Trained) SimplifyGreedy(t traj.Trajectory, w int) ([]int, error) {
 	return Simplify(tr.Policy, t, w, tr.Opts, false, nil)
+}
+
+// SimplifyGreedyCtx is SimplifyGreedy honoring a context for cancellation.
+func (tr *Trained) SimplifyGreedyCtx(ctx context.Context, t traj.Trajectory, w int) ([]int, error) {
+	return SimplifyCtx(ctx, tr.Policy, t, w, tr.Opts, false, nil)
 }
 
 // savedTrained is the JSON wire format of a Trained policy.

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"rlts/internal/storage"
 )
 
 // WriteCSV writes the table in machine-readable CSV form (header row from
@@ -30,16 +32,11 @@ func (t *Table) SaveCSV(dir string) (string, error) {
 		return "", err
 	}
 	path := filepath.Join(dir, t.ID+".csv")
-	f, err := os.Create(path)
+	err := storage.WriteAtomic(path, func(w io.Writer) error {
+		return t.WriteCSV(w)
+	})
 	if err != nil {
-		return "", err
-	}
-	defer f.Close()
-	if err := t.WriteCSV(f); err != nil {
 		return "", fmt.Errorf("eval: write %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		return "", err
 	}
 	return path, nil
 }

@@ -1,0 +1,104 @@
+// Package faultinject supplies the controlled failures the fault-tolerance
+// tests inject: environments that emit NaN rewards or states mid-episode,
+// training hooks that "crash" a run at a chosen batch boundary, and HTTP
+// handlers that panic or stall. Production code never imports it; the
+// trainer and server are exercised through their public hook points
+// (rl.TrainConfig.OnBatch, server.Harden) so the injection surface is
+// exactly the surface real faults would hit.
+package faultinject
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"time"
+
+	"rlts/internal/rl"
+)
+
+// ErrCrash is the sentinel a CrashAfter hook aborts training with,
+// standing in for a process kill at a batch boundary.
+var ErrCrash = errors.New("faultinject: injected crash")
+
+// CrashAfter returns an rl.TrainConfig.OnBatch hook that lets n batches
+// complete (and checkpoint) and then aborts training with ErrCrash.
+// Because the hook runs after the checkpoint write, the on-disk state is
+// exactly what a kill between batches would leave behind.
+func CrashAfter(n int) func(batch int) error {
+	return func(batch int) error {
+		if batch >= n {
+			return ErrCrash
+		}
+		return nil
+	}
+}
+
+// Env wraps an rl.Env and corrupts its outputs at configurable points.
+// The zero offsets (-1) disable each fault. Step counting restarts at
+// every Reset, so the fault fires once per episode.
+type Env struct {
+	Inner rl.Env
+	// NaNRewardAt poisons the reward of this 0-based step (-1 = never).
+	NaNRewardAt int
+	// NaNStateAt poisons the first feature of the state returned by this
+	// 0-based step's transition (-1 = never).
+	NaNStateAt int
+
+	step  int
+	state []float64 // scratch copy so the inner env's buffers stay clean
+}
+
+// NewEnv wraps inner with all faults disabled; set the fault fields
+// afterwards.
+func NewEnv(inner rl.Env) *Env {
+	return &Env{Inner: inner, NaNRewardAt: -1, NaNStateAt: -1}
+}
+
+func (e *Env) Reset() (state []float64, mask []bool, done bool) {
+	e.step = 0
+	return e.Inner.Reset()
+}
+
+func (e *Env) Step(action int) (state []float64, mask []bool, reward float64, done bool) {
+	state, mask, reward, done = e.Inner.Step(action)
+	if e.step == e.NaNRewardAt {
+		reward = math.NaN()
+	}
+	if e.step == e.NaNStateAt && len(state) > 0 {
+		// Copy before poisoning: the inner env reuses its state buffer.
+		e.state = append(e.state[:0], state...)
+		e.state[0] = math.NaN()
+		state = e.state
+	}
+	e.step++
+	return state, mask, reward, done
+}
+
+func (e *Env) StateSize() int  { return e.Inner.StateSize() }
+func (e *Env) NumActions() int { return e.Inner.NumActions() }
+
+// PanicHandler returns an http.Handler that panics with msg — the probe
+// for the server's panic-recovery middleware.
+func PanicHandler(msg string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(msg)
+	})
+}
+
+// SlowHandler returns a handler that signals on started (if non-nil),
+// holds the request for d (or until the request context dies), then
+// answers 200 "slow-ok". It probes load shedding, deadlines and graceful
+// drain.
+func SlowHandler(d time.Duration, started chan<- struct{}) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if started != nil {
+			started <- struct{}{}
+		}
+		select {
+		case <-time.After(d):
+			w.Write([]byte("slow-ok"))
+		case <-r.Context().Done():
+			w.WriteHeader(http.StatusGatewayTimeout)
+		}
+	})
+}

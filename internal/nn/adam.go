@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Adam implements the Adam stochastic optimizer (Kingma & Ba) over a set
 // of parameters. The paper trains with Adam at learning rate 1e-3.
@@ -72,3 +75,63 @@ func (a *Adam) Step(scale float64) {
 
 // StepCount returns how many optimizer steps have been applied.
 func (a *Adam) StepCount() int { return a.t }
+
+// AdamState is the serializable optimizer state: the step counter and the
+// first/second moment estimates, in parameter order. Checkpointing needs
+// it because resuming training with fresh moments would change every
+// subsequent update (the bias-correction terms depend on t).
+type AdamState struct {
+	T int         `json:"t"`
+	M [][]float64 `json:"m"`
+	V [][]float64 `json:"v"`
+}
+
+// Snapshot copies the optimizer state into dst, reusing dst's slices when
+// they are large enough so a per-batch snapshot allocates only once.
+// Returns dst.
+func (a *Adam) Snapshot(dst *AdamState) *AdamState {
+	dst.T = a.t
+	dst.M = copyStateInto(dst.M, a.m)
+	dst.V = copyStateInto(dst.V, a.v)
+	return dst
+}
+
+// State returns a deep copy of the optimizer state.
+func (a *Adam) State() AdamState {
+	var s AdamState
+	a.Snapshot(&s)
+	return s
+}
+
+// Restore sets the optimizer state from a snapshot taken on an optimizer
+// over identically-shaped parameters. It fails (leaving a unchanged) when
+// the shapes do not match.
+func (a *Adam) Restore(s *AdamState) error {
+	if len(s.M) != len(a.m) || len(s.V) != len(a.v) {
+		return fmt.Errorf("nn: Adam state has %d/%d moment vectors, want %d", len(s.M), len(s.V), len(a.m))
+	}
+	for i := range a.m {
+		if len(s.M[i]) != len(a.m[i]) || len(s.V[i]) != len(a.v[i]) {
+			return fmt.Errorf("nn: Adam state moment %d has %d/%d values, want %d", i, len(s.M[i]), len(s.V[i]), len(a.m[i]))
+		}
+	}
+	a.t = s.T
+	for i := range a.m {
+		copy(a.m[i], s.M[i])
+		copy(a.v[i], s.V[i])
+	}
+	return nil
+}
+
+func copyStateInto(dst, src [][]float64) [][]float64 {
+	if len(dst) != len(src) {
+		dst = make([][]float64, len(src))
+	}
+	for i, s := range src {
+		if len(dst[i]) != len(s) {
+			dst[i] = make([]float64, len(s))
+		}
+		copy(dst[i], s)
+	}
+	return dst
+}

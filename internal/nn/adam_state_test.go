@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testSpec() MLPSpec {
+	return MLPSpec{In: 4, Hidden: []int{8}, Out: 3, BatchNorm: true, Activation: "tanh"}
+}
+
+// testNetWithSteps builds a small MLP and runs a few optimizer steps so
+// Adam's moments are non-trivial.
+func testNetWithSteps(t *testing.T, steps int) (*Network, *Adam) {
+	t.Helper()
+	r := rand.New(rand.NewSource(3))
+	net, err := NewMLP(testSpec(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adam := NewAdam(net.Params(), 1e-2)
+	in := make([]float64, 4)
+	grad := make([]float64, 3)
+	for s := 0; s < steps; s++ {
+		for i := range in {
+			in[i] = r.NormFloat64()
+		}
+		out := net.Forward(in, false)
+		for i := range grad {
+			grad[i] = out[i] - 0.5
+		}
+		net.ZeroGrad()
+		net.Backward(grad)
+		adam.Step(1)
+	}
+	return net, adam
+}
+
+func stepOnce(net *Network, adam *Adam) {
+	in := []float64{1, -1, 0.5, 0}
+	net.Forward(in, false)
+	net.ZeroGrad()
+	net.Backward([]float64{0.1, -0.2, 0.3})
+	adam.Step(1)
+}
+
+// TestAdamStateRoundTrip: Snapshot/Restore must reproduce the optimizer
+// exactly — identical parameters after identical further updates.
+func TestAdamStateRoundTrip(t *testing.T) {
+	netA, adamA := testNetWithSteps(t, 5)
+	st := adamA.State()
+	if st.T != 5 {
+		t.Fatalf("snapshot T = %d, want 5", st.T)
+	}
+
+	// A second, differently-evolved optimizer over an identical network
+	// adopts the snapshot; both must then step identically.
+	netB, adamB := testNetWithSteps(t, 9)
+	netB.SetParams(netA.FlattenParams(nil))
+	if err := adamB.Restore(&st); err != nil {
+		t.Fatal(err)
+	}
+
+	stepOnce(netA, adamA)
+	stepOnce(netB, adamB)
+	pa, pb := netA.FlattenParams(nil), netB.FlattenParams(nil)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("param %d diverged after restore: %v != %v", i, pa[i], pb[i])
+		}
+	}
+}
+
+// TestAdamRestoreRejectsShapeMismatch: restoring moments from a different
+// architecture must error, not silently corrupt the optimizer.
+func TestAdamRestoreRejectsShapeMismatch(t *testing.T) {
+	_, adam := testNetWithSteps(t, 1)
+	bad := AdamState{T: 1, M: [][]float64{{0}}, V: [][]float64{{0}}}
+	if err := adam.Restore(&bad); err == nil {
+		t.Error("mismatched AdamState accepted")
+	}
+}
+
+// TestFlattenSetParamsRoundTrip: SetParams(FlattenParams()) is identity,
+// and ParamsFinite detects injected poison.
+func TestFlattenSetParamsRoundTrip(t *testing.T) {
+	net, _ := testNetWithSteps(t, 2)
+	flat := net.FlattenParams(nil)
+	other, err := NewMLP(testSpec(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.SetParams(flat)
+	back := other.FlattenParams(nil)
+	for i := range flat {
+		if flat[i] != back[i] {
+			t.Fatalf("param %d changed in round trip", i)
+		}
+	}
+	if !net.ParamsFinite() {
+		t.Error("healthy net reported non-finite params")
+	}
+	flat[len(flat)/2] = math.NaN()
+	net.SetParams(flat)
+	if net.ParamsFinite() {
+		t.Error("NaN parameter went undetected")
+	}
+}
+
+// TestBatchNormInitedFlag: a training forward initializes the running
+// statistics, and the explicit flag accessors can reset that — the
+// property checkpoint restore depends on.
+func TestBatchNormInitedFlag(t *testing.T) {
+	bn := NewBatchNorm(3)
+	if bn.Inited() {
+		t.Fatal("fresh BatchNorm claims initialized statistics")
+	}
+	bn.Forward([]float64{1, 2, 3}, true)
+	if !bn.Inited() {
+		t.Fatal("training forward did not initialize statistics")
+	}
+	bn.SetInited(false)
+	if bn.Inited() {
+		t.Fatal("SetInited(false) ignored")
+	}
+}

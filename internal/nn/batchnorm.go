@@ -118,6 +118,15 @@ func (bn *BatchNorm) SetState(s []float64) {
 	bn.inited = true
 }
 
+// Inited reports whether the running statistics have absorbed at least one
+// training sample. SetState marks the layer initialized (a saved policy has
+// meaningful statistics), so checkpoints that must reproduce a fresh layer
+// bit for bit record the flag separately and restore it with SetInited.
+func (bn *BatchNorm) Inited() bool { return bn.inited }
+
+// SetInited overrides the statistics-initialization flag; see Inited.
+func (bn *BatchNorm) SetInited(v bool) { bn.inited = v }
+
 // copyStatsFrom copies the running statistics (and their initialization
 // flag) from another layer of the same size, without allocating.
 func (bn *BatchNorm) copyStatsFrom(src *BatchNorm) {

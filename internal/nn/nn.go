@@ -140,6 +140,54 @@ func (n *Network) AddGrads(src []float64) {
 	checkLen("AddGrads input", len(src), off)
 }
 
+// FlattenParams copies every parameter value into dst (resliced from
+// dst[:0], so a buffer with enough capacity is reused allocation-free) and
+// returns it. Order matches SetParams and FlattenGrads.
+func (n *Network) FlattenParams(dst []float64) []float64 {
+	dst = dst[:0]
+	for _, p := range n.Params() {
+		dst = append(dst, p.Val...)
+	}
+	return dst
+}
+
+// SetParams restores parameter values from a flat vector produced by
+// FlattenParams. The trainer's divergence guard uses it to roll back an
+// update that produced non-finite weights.
+func (n *Network) SetParams(src []float64) {
+	var off int
+	for _, p := range n.Params() {
+		copy(p.Val, src[off:off+len(p.Val)])
+		off += len(p.Val)
+	}
+	checkLen("SetParams input", len(src), off)
+}
+
+// ParamsFinite reports whether every parameter value is finite (no NaN or
+// Inf anywhere in the network weights).
+func (n *Network) ParamsFinite() bool {
+	for _, p := range n.Params() {
+		for _, v := range p.Val {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GradsFinite reports whether every accumulated gradient value is finite.
+func (n *Network) GradsFinite() bool {
+	for _, p := range n.Params() {
+		for _, v := range p.Grad {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // SyncFrom copies all parameter values and batch-norm running statistics
 // from src into n, in place and without allocating. Both networks must
 // have been built from the same spec; the worker replicas of the parallel

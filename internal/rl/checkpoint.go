@@ -1,0 +1,278 @@
+package rl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"rlts/internal/nn"
+	"rlts/internal/storage"
+)
+
+// checkpointVersion guards the on-disk format; bump on incompatible
+// changes.
+const checkpointVersion = 1
+
+// Checkpoint is the complete, resumable state of a training run at a
+// batch boundary: the master policy, the best-episode snapshot, the Adam
+// moments, the episode-sequence counter that positions the per-episode RNG
+// streams, the loop position, and the accumulated statistics and health
+// report. Together with the original environments and hyper-parameters it
+// determines the rest of the run exactly, so resuming reproduces the
+// uninterrupted run bit for bit.
+type Checkpoint struct {
+	// Determinism-relevant hyper-parameters of the originating run;
+	// ResumePolicy refuses a config that disagrees.
+	Seed         int64
+	Episodes     int
+	LearningRate float64
+	Gamma        float64
+	Entropy      float64
+
+	Epoch int // epoch the next batch belongs to
+	Next  int // environment index of the next batch within Epoch
+	Batch int // global batches completed so far
+
+	EpSeq       uint64 // episodes started so far (per-episode RNG position)
+	BestReward  float64
+	FinalReward float64
+	EpisodesRun int
+	StepsRun    int
+	Health      TrainHealth
+
+	Policy   *Policy // master policy at the boundary
+	Best     *Policy // best-episode snapshot (nil if none yet)
+	BNInited []bool  // per-BatchNorm-layer statistics-initialization flags
+	Adam     nn.AdamState
+}
+
+// savedCheckpoint is the JSON wire format. BestReward is a pointer so the
+// "no best yet" state (-Inf, which JSON cannot represent) round-trips as
+// an absent field.
+type savedCheckpoint struct {
+	Version      int             `json:"version"`
+	Seed         int64           `json:"seed"`
+	Episodes     int             `json:"episodes"`
+	LearningRate float64         `json:"learning_rate"`
+	Gamma        float64         `json:"gamma"`
+	Entropy      float64         `json:"entropy"`
+	Epoch        int             `json:"epoch"`
+	Next         int             `json:"next"`
+	Batch        int             `json:"batch"`
+	EpSeq        uint64          `json:"ep_seq"`
+	BestReward   *float64        `json:"best_reward,omitempty"`
+	FinalReward  float64         `json:"final_reward"`
+	EpisodesRun  int             `json:"episodes_run"`
+	StepsRun     int             `json:"steps_run"`
+	Health       TrainHealth     `json:"health"`
+	Policy       json.RawMessage `json:"policy"`
+	Best         json.RawMessage `json:"best,omitempty"`
+	BNInited     []bool          `json:"bn_inited"`
+	Adam         nn.AdamState    `json:"adam"`
+}
+
+// Save writes the checkpoint to w as JSON.
+func (ck *Checkpoint) Save(w io.Writer) error {
+	sv := savedCheckpoint{
+		Version:      checkpointVersion,
+		Seed:         ck.Seed,
+		Episodes:     ck.Episodes,
+		LearningRate: ck.LearningRate,
+		Gamma:        ck.Gamma,
+		Entropy:      ck.Entropy,
+		Epoch:        ck.Epoch,
+		Next:         ck.Next,
+		Batch:        ck.Batch,
+		EpSeq:        ck.EpSeq,
+		FinalReward:  ck.FinalReward,
+		EpisodesRun:  ck.EpisodesRun,
+		StepsRun:     ck.StepsRun,
+		Health:       ck.Health,
+		BNInited:     ck.BNInited,
+		Adam:         ck.Adam,
+	}
+	var pbuf bytes.Buffer
+	if err := ck.Policy.Save(&pbuf); err != nil {
+		return fmt.Errorf("rl: checkpoint policy: %w", err)
+	}
+	sv.Policy = json.RawMessage(pbuf.Bytes())
+	if ck.Best != nil {
+		var bbuf bytes.Buffer
+		if err := ck.Best.Save(&bbuf); err != nil {
+			return fmt.Errorf("rl: checkpoint best policy: %w", err)
+		}
+		sv.Best = json.RawMessage(bbuf.Bytes())
+		br := ck.BestReward
+		sv.BestReward = &br
+	}
+	return json.NewEncoder(w).Encode(&sv)
+}
+
+// LoadCheckpoint reads a checkpoint written by Save.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var sv savedCheckpoint
+	if err := json.NewDecoder(r).Decode(&sv); err != nil {
+		return nil, fmt.Errorf("rl: decode checkpoint: %w", err)
+	}
+	if sv.Version != checkpointVersion {
+		return nil, fmt.Errorf("rl: checkpoint version %d, want %d", sv.Version, checkpointVersion)
+	}
+	if len(sv.Policy) == 0 {
+		return nil, fmt.Errorf("rl: checkpoint has no policy")
+	}
+	p, err := LoadPolicy(bytes.NewReader(sv.Policy))
+	if err != nil {
+		return nil, fmt.Errorf("rl: checkpoint policy: %w", err)
+	}
+	ck := &Checkpoint{
+		Seed:         sv.Seed,
+		Episodes:     sv.Episodes,
+		LearningRate: sv.LearningRate,
+		Gamma:        sv.Gamma,
+		Entropy:      sv.Entropy,
+		Epoch:        sv.Epoch,
+		Next:         sv.Next,
+		Batch:        sv.Batch,
+		EpSeq:        sv.EpSeq,
+		BestReward:   math.Inf(-1),
+		FinalReward:  sv.FinalReward,
+		EpisodesRun:  sv.EpisodesRun,
+		StepsRun:     sv.StepsRun,
+		Health:       sv.Health,
+		Policy:       p,
+		BNInited:     sv.BNInited,
+		Adam:         sv.Adam,
+	}
+	if len(sv.Best) > 0 {
+		best, err := LoadPolicy(bytes.NewReader(sv.Best))
+		if err != nil {
+			return nil, fmt.Errorf("rl: checkpoint best policy: %w", err)
+		}
+		ck.Best = best
+		if sv.BestReward != nil {
+			ck.BestReward = *sv.BestReward
+		}
+	}
+	if ck.Epoch < 0 || ck.Next < 0 || ck.Batch < 0 || ck.Episodes <= 0 {
+		return nil, fmt.Errorf("rl: checkpoint has implausible position (epoch %d, next %d, batch %d, episodes %d)",
+			ck.Epoch, ck.Next, ck.Batch, ck.Episodes)
+	}
+	return ck, nil
+}
+
+// WriteCheckpointFile atomically writes the checkpoint to path: a crash
+// mid-write leaves the previous checkpoint intact, never a truncated file.
+func WriteCheckpointFile(path string, ck *Checkpoint) error {
+	return storage.WriteAtomic(path, ck.Save)
+}
+
+// ReadCheckpointFile loads a checkpoint from path.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("rl: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	return LoadCheckpoint(f)
+}
+
+// compatible verifies that resuming under cfg replays the original run.
+func (ck *Checkpoint) compatible(cfg TrainConfig, numEnvs int) error {
+	if ck.Seed != cfg.Seed || ck.Episodes != cfg.Episodes ||
+		ck.LearningRate != cfg.LearningRate || ck.Gamma != cfg.Gamma || ck.Entropy != cfg.Entropy {
+		return fmt.Errorf("rl: checkpoint hyper-parameters (seed %d, episodes %d, lr %g, gamma %g, entropy %g) "+
+			"do not match config (seed %d, episodes %d, lr %g, gamma %g, entropy %g)",
+			ck.Seed, ck.Episodes, ck.LearningRate, ck.Gamma, ck.Entropy,
+			cfg.Seed, cfg.Episodes, cfg.LearningRate, cfg.Gamma, cfg.Entropy)
+	}
+	if ck.Next > numEnvs {
+		return fmt.Errorf("rl: checkpoint position %d is beyond the %d training environments (different dataset?)",
+			ck.Next, numEnvs)
+	}
+	return nil
+}
+
+// writeCheckpoint captures the engine state at the current batch boundary
+// and atomically persists it.
+func (g *engine) writeCheckpoint(path string, epoch, next int, res *TrainResult) error {
+	ck := &Checkpoint{
+		Seed:         g.cfg.Seed,
+		Episodes:     g.cfg.Episodes,
+		LearningRate: g.cfg.LearningRate,
+		Gamma:        g.cfg.Gamma,
+		Entropy:      g.cfg.Entropy,
+		Epoch:        epoch,
+		Next:         next,
+		Batch:        g.batch,
+		EpSeq:        g.epSeq,
+		BestReward:   res.BestReward,
+		FinalReward:  res.FinalReward,
+		EpisodesRun:  res.EpisodesRun,
+		StepsRun:     res.StepsRun,
+		Health:       res.Health,
+		Policy:       g.master,
+		Best:         res.Best,
+		BNInited:     bnInited(g.master),
+		Adam:         g.adam.State(),
+	}
+	return WriteCheckpointFile(path, ck)
+}
+
+// restore initializes the engine and result from a checkpoint. The engine
+// was just built around ck.Policy, so only the optimizer moments, the
+// counters, the batch-norm initialization flags and the result statistics
+// need to come back.
+func (g *engine) restore(ck *Checkpoint, res *TrainResult) error {
+	if err := g.adam.Restore(&ck.Adam); err != nil {
+		return fmt.Errorf("rl: checkpoint does not match policy architecture: %w", err)
+	}
+	if err := setBNInited(g.master, ck.BNInited); err != nil {
+		return err
+	}
+	g.epSeq = ck.EpSeq
+	g.batch = ck.Batch
+	res.BestReward = ck.BestReward
+	res.FinalReward = ck.FinalReward
+	res.EpisodesRun = ck.EpisodesRun
+	res.StepsRun = ck.StepsRun
+	res.Health = ck.Health
+	res.Best = ck.Best
+	return nil
+}
+
+// bnInited collects the statistics-initialization flag of every BatchNorm
+// layer, in layer order. Policy serialization marks loaded layers as
+// initialized unconditionally, which is right for inference but would
+// diverge from a fresh layer still waiting to seed its mean with the
+// first sample — so checkpoints carry the flags explicitly.
+func bnInited(p *Policy) []bool {
+	var flags []bool
+	for _, l := range p.Net.Layers {
+		if bn, ok := l.(*nn.BatchNorm); ok {
+			flags = append(flags, bn.Inited())
+		}
+	}
+	return flags
+}
+
+func setBNInited(p *Policy, flags []bool) error {
+	var i int
+	for _, l := range p.Net.Layers {
+		bn, ok := l.(*nn.BatchNorm)
+		if !ok {
+			continue
+		}
+		if i >= len(flags) {
+			return fmt.Errorf("rl: checkpoint has %d batch-norm flags, policy needs more", len(flags))
+		}
+		bn.SetInited(flags[i])
+		i++
+	}
+	if i != len(flags) {
+		return fmt.Errorf("rl: checkpoint has %d batch-norm flags, policy has %d layers", len(flags), i)
+	}
+	return nil
+}

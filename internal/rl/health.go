@@ -1,0 +1,56 @@
+package rl
+
+// Health event kinds recorded by the trainer's divergence guards.
+const (
+	// HealthRolloutSkip: a rollout produced a non-finite state or reward
+	// and the whole batch was discarded before it touched any statistics.
+	HealthRolloutSkip = "rollout-skip"
+	// HealthGradSkip: the merged batch gradient contained NaN/Inf and the
+	// optimizer step was dropped.
+	HealthGradSkip = "gradient-skip"
+	// HealthRollback: an optimizer step yielded non-finite weights and the
+	// policy was rolled back to the pre-step parameters and moments.
+	HealthRollback = "rollback"
+)
+
+// maxHealthEvents bounds the per-run event log; the counters keep exact
+// totals even when the detailed log saturates.
+const maxHealthEvents = 32
+
+// HealthEvent is one divergence-guard firing.
+type HealthEvent struct {
+	Batch  int    `json:"batch"` // global 1-based batch number
+	Kind   string `json:"kind"`  // one of the Health* constants
+	Detail string `json:"detail"`
+}
+
+// TrainHealth is the structured report of the trainer's divergence guards:
+// instead of silently corrupting a run, a NaN/Inf anywhere in rollouts,
+// gradients or weights increments a counter here and leaves the policy at
+// its last good state. It serializes with checkpoints so a resumed run
+// reports the same history as an uninterrupted one.
+type TrainHealth struct {
+	RolloutSkips int           `json:"rollout_skips,omitempty"`
+	GradSkips    int           `json:"grad_skips,omitempty"`
+	Rollbacks    int           `json:"rollbacks,omitempty"`
+	Events       []HealthEvent `json:"events,omitempty"` // first maxHealthEvents, in order
+}
+
+// Ok reports whether no guard ever fired.
+func (h *TrainHealth) Ok() bool {
+	return h.RolloutSkips == 0 && h.GradSkips == 0 && h.Rollbacks == 0
+}
+
+func (h *TrainHealth) note(batch int, kind, detail string) {
+	switch kind {
+	case HealthRolloutSkip:
+		h.RolloutSkips++
+	case HealthGradSkip:
+		h.GradSkips++
+	case HealthRollback:
+		h.Rollbacks++
+	}
+	if len(h.Events) < maxHealthEvents {
+		h.Events = append(h.Events, HealthEvent{Batch: batch, Kind: kind, Detail: detail})
+	}
+}

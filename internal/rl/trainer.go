@@ -35,6 +35,22 @@ type TrainConfig struct {
 	Entropy  float64
 	Log      io.Writer // optional progress sink (nil = silent)
 	LogEvery int       // log every n trajectories (0 = never)
+	// Checkpoint, when non-empty, is a file path that periodically receives
+	// an atomically-written training checkpoint (policy, best snapshot,
+	// optimizer moments, RNG position, batch counter, health report).
+	// A run resumed from it with ResumePolicy and the same dataset and
+	// hyper-parameters produces the bit-identical final policy of an
+	// uninterrupted run.
+	Checkpoint string
+	// CheckpointEvery sets how many batches elapse between checkpoint
+	// writes (<=0 means every batch). The final batch is always
+	// checkpointed regardless.
+	CheckpointEvery int
+	// OnBatch, when non-nil, runs after every completed batch (and after
+	// any due checkpoint write) with the global 1-based batch number.
+	// Returning a non-nil error aborts training with that error; the fault
+	// injection tests use it to simulate crashes at batch boundaries.
+	OnBatch func(batch int) error
 }
 
 // DefaultTrainConfig returns the paper's hyper-parameters.
@@ -68,6 +84,9 @@ func (c *TrainConfig) fillDefaults() {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
 }
 
 // TrainResult reports what training produced. Best is the snapshot with
@@ -83,6 +102,10 @@ type TrainResult struct {
 	FinalReward float64 // total reward of the last episode
 	EpisodesRun int
 	StepsRun    int
+	// Health reports what the divergence guards saw: batches skipped for
+	// non-finite rollouts, updates dropped for non-finite gradients, and
+	// parameter rollbacks. A healthy run has Health.Ok() == true.
+	Health TrainHealth
 }
 
 // Rollout plays one episode of env under policy, sampling actions, and
@@ -146,20 +169,80 @@ func Train(envs []Env, cfg TrainConfig) (*TrainResult, error) {
 // guarantee.
 func TrainPolicy(p *Policy, envs []Env, cfg TrainConfig) (*TrainResult, error) {
 	cfg.fillDefaults()
+	if err := validateEnvs(p, envs); err != nil {
+		return nil, err
+	}
+	return trainLoop(p, envs, cfg, nil)
+}
+
+// ResumePolicy continues a training run from a checkpoint written by a
+// previous TrainPolicy/ResumePolicy invocation with cfg.Checkpoint set.
+// envs and the determinism-relevant hyper-parameters (seed, episodes,
+// learning rate, gamma, entropy) must match the original run; cfg.Epochs
+// may be raised to train longer. The resumed run replays the exact
+// remaining batch sequence, so its final policy is bit-identical to the
+// uninterrupted run's.
+func ResumePolicy(ck *Checkpoint, envs []Env, cfg TrainConfig) (*TrainResult, error) {
+	cfg.fillDefaults()
+	if err := ck.compatible(cfg, len(envs)); err != nil {
+		return nil, err
+	}
+	if err := validateEnvs(ck.Policy, envs); err != nil {
+		return nil, err
+	}
+	return trainLoop(ck.Policy, envs, cfg, ck)
+}
+
+func validateEnvs(p *Policy, envs []Env) error {
 	if len(envs) == 0 {
-		return nil, fmt.Errorf("rl: no training environments")
+		return fmt.Errorf("rl: no training environments")
 	}
 	for _, env := range envs {
 		if env.StateSize() != p.Spec.In || env.NumActions() != p.Spec.Out {
-			return nil, fmt.Errorf("rl: env shape (%d states, %d actions) does not match policy (%d, %d)",
+			return fmt.Errorf("rl: env shape (%d states, %d actions) does not match policy (%d, %d)",
 				env.StateSize(), env.NumActions(), p.Spec.In, p.Spec.Out)
 		}
 	}
+	return nil
+}
+
+// trainLoop is the shared epoch/batch loop of TrainPolicy and
+// ResumePolicy: ck == nil starts fresh, otherwise the engine and result
+// are restored and the loop continues from the checkpointed position.
+func trainLoop(p *Policy, envs []Env, cfg TrainConfig, ck *Checkpoint) (*TrainResult, error) {
 	eng := newEngine(p, cfg)
 	res := &TrainResult{BestReward: math.Inf(-1)}
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		for ti, env := range envs {
-			eng.runBatch(env, res)
+	startEpoch, startEnv := 0, 0
+	if ck != nil {
+		if err := eng.restore(ck, res); err != nil {
+			return nil, err
+		}
+		startEpoch, startEnv = ck.Epoch, ck.Next
+	}
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+		first := 0
+		if epoch == startEpoch {
+			first = startEnv
+		}
+		for ti := first; ti < len(envs); ti++ {
+			eng.runBatch(envs[ti], res)
+			// The position the *next* batch runs at; a checkpoint taken now
+			// resumes there.
+			nextEpoch, nextEnv := epoch, ti+1
+			if nextEnv == len(envs) {
+				nextEpoch, nextEnv = epoch+1, 0
+			}
+			lastBatch := nextEpoch >= cfg.Epochs
+			if cfg.Checkpoint != "" && (eng.batch%cfg.CheckpointEvery == 0 || lastBatch) {
+				if err := eng.writeCheckpoint(cfg.Checkpoint, nextEpoch, nextEnv, res); err != nil {
+					return nil, fmt.Errorf("rl: checkpoint: %w", err)
+				}
+			}
+			if cfg.OnBatch != nil {
+				if err := cfg.OnBatch(eng.batch); err != nil {
+					return nil, err
+				}
+			}
 			if cfg.Log != nil && cfg.LogEvery > 0 && (ti+1)%cfg.LogEvery == 0 {
 				fmt.Fprintf(cfg.Log, "rl: epoch %d, trajectory %d/%d, best reward %.4f, last %.4f\n",
 					epoch+1, ti+1, len(envs), res.BestReward, res.FinalReward)
@@ -185,11 +268,19 @@ type engine struct {
 
 	workers []*trainWorker
 	eps     []*Episode  // cfg.Episodes slots, storage reused across batches
+	epFail  []string    // per-episode rollout panic message ("" = ok)
 	grads   [][]float64 // per-episode flattened gradients, merged in order
 	steps   []int       // per-episode gradient step counts
 	coeffs  [][]float64 // per-episode REINFORCE coefficients
 	returns [][]float64 // per-episode discounted returns
 	epSeq   uint64      // episodes started so far; seeds per-episode RNGs
+	batch   int         // global 1-based batch counter (survives resume)
+
+	// Divergence-guard scratch: the parameter and optimizer state saved
+	// immediately before each Adam step, restored if the step produced
+	// non-finite weights (buffers reused every batch).
+	preParams []float64
+	preAdam   nn.AdamState
 }
 
 // trainWorker owns everything one rollout/gradient goroutine touches: a
@@ -208,6 +299,7 @@ func newEngine(p *Policy, cfg TrainConfig) *engine {
 		adam:    nn.NewAdam(p.Net.Params(), cfg.LearningRate),
 		cfg:     cfg,
 		eps:     make([]*Episode, cfg.Episodes),
+		epFail:  make([]string, cfg.Episodes),
 		grads:   make([][]float64, cfg.Episodes),
 		steps:   make([]int, cfg.Episodes),
 		coeffs:  make([][]float64, cfg.Episodes),
@@ -292,18 +384,26 @@ func (g *engine) parallel(nw, n int, fn func(w *trainWorker, e int)) {
 //
 //  1. sync replicas to the master (the frozen snapshot for this batch);
 //  2. parallel rollouts with per-episode RNGs, train=false forwards;
-//  3. serial bookkeeping: reward stats, lazy best-policy clone (at most
+//  3. divergence guard: if any rollout produced a non-finite state or
+//     reward, the whole batch is discarded before it can touch the
+//     statistics, the result, or the weights;
+//  4. serial bookkeeping: reward stats, lazy best-policy clone (at most
 //     one per batch), batch-norm running statistics updated once from the
 //     collected states in episode order;
-//  4. re-sync replicas (they need the updated statistics);
-//  5. parallel per-episode gradient accumulation on the replicas;
-//  6. serial merge of the per-episode gradients in episode order and a
-//     single Adam step.
+//  5. re-sync replicas (they need the updated statistics);
+//  6. parallel per-episode gradient accumulation on the replicas;
+//  7. serial merge of the per-episode gradients in episode order and a
+//     single Adam step, guarded: a non-finite merged gradient drops the
+//     update, and a step that yields non-finite weights is rolled back to
+//     the pre-step parameters and optimizer moments.
 //
 // Every floating-point operation happens either serially on the master or
 // per-episode on a replica that is bit-identical to the master, so the
-// result does not depend on the worker count.
+// result does not depend on the worker count. The guards are themselves
+// deterministic, so checkpoint/resume reproducibility holds even for runs
+// that trip them.
 func (g *engine) runBatch(env Env, res *TrainResult) {
+	g.batch++
 	numEp := g.cfg.Episodes
 	g.syncWorkers()
 
@@ -324,8 +424,19 @@ func (g *engine) runBatch(env Env, res *TrainResult) {
 	g.epSeq += uint64(numEp)
 	g.parallel(rolloutWorkers, numEp, func(w *trainWorker, e int) {
 		w.rng.Seed(deriveSeed(g.cfg.Seed, seqBase+uint64(e)))
-		rolloutInto(g.eps[e], w.env, w.policy, w.rng, false)
+		g.epFail[e] = safeRollout(g.eps[e], w.env, w.policy, w.rng)
 	})
+
+	// Guard: a non-finite state or reward (NaN coordinates slipping through
+	// a caller, a diverged policy pushing the environment into overflow)
+	// would poison the batch-norm statistics, the return normalization and
+	// the gradients — and a rollout that panicked outright (e.g. NaN logits
+	// leaving no legal action) produced no usable episode at all. Drop the
+	// batch before anything downstream sees it.
+	if detail := g.scanBatch(); detail != "" {
+		res.Health.note(g.batch, HealthRolloutSkip, detail)
+		return
+	}
 
 	// Serial bookkeeping over the collected episodes, in episode order.
 	batchBest := math.Inf(-1)
@@ -398,10 +509,81 @@ func (g *engine) runBatch(env Env, res *TrainResult) {
 		g.master.Net.AddGrads(g.grads[e])
 		steps += g.steps[e]
 	}
-	if steps > 0 {
-		g.adam.Step(float64(steps))
+	if steps == 0 {
+		return
+	}
+	// Guard: a non-finite merged gradient (overflow in the accumulation)
+	// would corrupt the Adam moments for every later batch. Drop the update.
+	if !g.master.Net.GradsFinite() {
+		g.master.Net.ZeroGrad()
+		res.Health.note(g.batch, HealthGradSkip, "non-finite merged gradient")
+		return
+	}
+	// Guard: snapshot the weights and optimizer moments, step, and verify.
+	// If the step still produced non-finite weights, roll back to the last
+	// good policy rather than continuing from a corrupted one.
+	g.preParams = g.master.Net.FlattenParams(g.preParams)
+	g.adam.Snapshot(&g.preAdam)
+	g.adam.Step(float64(steps))
+	if !g.master.Net.ParamsFinite() {
+		g.master.Net.SetParams(g.preParams)
+		if err := g.adam.Restore(&g.preAdam); err != nil {
+			panic("rl: rollback restore failed: " + err.Error()) // same optimizer, cannot happen
+		}
+		res.Health.note(g.batch, HealthRollback, "non-finite weights after update; rolled back")
 	}
 }
+
+// safeRollout is rolloutInto converting a panic (an environment bug, or
+// NaN logits leaving the masked softmax without a legal action) into an
+// error message instead of killing the training process. Training mode is
+// always false here: the batch trainer folds statistics in separately.
+func safeRollout(ep *Episode, env Env, p *Policy, r *rand.Rand) (fail string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			fail = fmt.Sprintf("rollout panic: %v", rec)
+		}
+	}()
+	rolloutInto(ep, env, p, r, false)
+	return ""
+}
+
+// scanBatch returns a description of the first rollout failure or
+// non-finite value in the batch, or "" when the batch is clean.
+func (g *engine) scanBatch() string {
+	for e, msg := range g.epFail {
+		if msg != "" {
+			return fmt.Sprintf("episode %d: %s", e, msg)
+		}
+	}
+	return scanEpisodes(g.eps)
+}
+
+// scanEpisodes returns a description of the first non-finite state or
+// reward in the batch, or "" when everything is finite. Rewards stand in
+// for the returns (a finite reward sequence has finite returns short of
+// astronomical overflow, which the gradient guard still catches), and
+// states stand in for the logits: finite weights on a finite state cannot
+// produce non-finite logits.
+func scanEpisodes(eps []*Episode) string {
+	for e, ep := range eps {
+		for t, r := range ep.Rewards {
+			if !finite(r) {
+				return fmt.Sprintf("episode %d step %d: reward %v", e, t, r)
+			}
+		}
+		for t, s := range ep.States {
+			for d, v := range s {
+				if !finite(v) {
+					return fmt.Sprintf("episode %d step %d: state[%d] = %v", e, t, d, v)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // computeCoeffs fills g.coeffs with the batch's per-step REINFORCE
 // coefficients, reusing the engine's return and coefficient buffers.

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fuzzHandler is one baselines-only hardened handler shared by the fuzz
+// targets: construction is not what's under test, the request paths are.
+var (
+	fuzzOnce sync.Once
+	fuzzH    http.Handler
+)
+
+func fuzzServer() http.Handler {
+	fuzzOnce.Do(func() {
+		fuzzH = NewWith(nil, Config{MaxConcurrent: -1, RequestTimeout: -1}).Handler()
+	})
+	return fuzzH
+}
+
+// fuzzPost drives one request through the full middleware + handler stack
+// and enforces the service's error contract: no panic (Harden would mask
+// one as a 500), only expected statuses, and every non-200 body is the
+// typed JSON error shape.
+func fuzzPost(t *testing.T, path, body string) {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rr := httptest.NewRecorder()
+	fuzzServer().ServeHTTP(rr, req)
+
+	switch rr.Code {
+	case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+	case http.StatusInternalServerError:
+		t.Fatalf("input caused a recovered panic (500): %q -> %s", body, rr.Body.Bytes())
+	default:
+		t.Fatalf("unexpected status %d for %q", rr.Code, body)
+	}
+	if rr.Code != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &e); err != nil || e.Error == "" || e.Code == "" {
+			t.Fatalf("status %d body is not a typed JSON error: %q", rr.Code, rr.Body.Bytes())
+		}
+	}
+}
+
+func FuzzSimplifyHandler(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`not json at all`,
+		`{"points":[[0,0,0],[1,1,1]]}`,
+		`{"algorithm":"uniform","w":2,"points":[[0,0,0],[1,1,1],[2,2,2]]}`,
+		`{"algorithm":"bottom-up","ratio":0.5,"points":[[0,0,0],[1,1,1],[2,2,2],[3,3,3]]}`,
+		`{"algorithm":"bellman","w":2,"points":[[0,0,0],[1,1,1],[2,2,2]]}`,
+		`{"algorithm":"uniform","w":1,"points":[[0,0,0],[1,1,1]]}`,
+		`{"algorithm":"uniform","ratio":-1,"points":[[0,0,0],[1,1,1]]}`,
+		`{"algorithm":"uniform","ratio":1,"points":[[0,0,0],[1,1,1]]}`,
+		`{"algorithm":"uniform","ratio":0.999999,"points":[[0,0,0],[1,1,1]]}`,
+		`{"algorithm":"uniform","w":2,"points":[[0,0,0],[NaN,1,1]]}`,
+		`{"algorithm":"uniform","w":2,"points":[[0,0,0],[1e999,1,1]]}`,
+		`{"algorithm":"uniform","w":2,"points":[[0,0,5],[1,1,1]]}`,
+		`{"algorithm":"uniform","w":2,"points":[[0,0,1],[1,1,1]]}`,
+		`{"algorithm":"uniform","w":2,"points":[[0,0,0]]}`,
+		`{"algorithm":"uniform","w":2,"measure":"DAD","points":[[0,0,0],[1,1,1]]}`,
+		`{"algorithm":"rlts","w":2,"measure":"SED","points":[[0,0,0],[1,1,1]]}`,
+		`{"w":-9223372036854775808,"points":[[0,0,0],[1,1,1]]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		fuzzPost(t, "/v1/simplify", body)
+	})
+}
+
+func FuzzStatsHandler(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`garbage`,
+		`{"points":[[0,0,0],[1,1,1]]}`,
+		`{"points":[[0,0,0]]}`,
+		`{"points":[[0,0,0],[NaN,0,1]]}`,
+		`{"points":[[0,0,0],[0,0,0]]}`,
+		`{"points":[[1e308,-1e308,0],[0,0,1]]}`,
+		`{"points":[]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		fuzzPost(t, "/v1/stats", body)
+	})
+}

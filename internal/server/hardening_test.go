@@ -1,0 +1,339 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rlts/internal/core"
+	"rlts/internal/errm"
+	"rlts/internal/faultinject"
+	"rlts/internal/gen"
+)
+
+// errorBody decodes the typed JSON error shape.
+func errorBody(t *testing.T, raw []byte) (msg, code string) {
+	t.Helper()
+	var e struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatalf("error response is not the typed JSON shape: %v (%q)", err, raw)
+	}
+	if e.Error == "" || e.Code == "" {
+		t.Fatalf("error response missing fields: %q", raw)
+	}
+	return e.Error, e.Code
+}
+
+func TestPanicRecovery(t *testing.T) {
+	var logBuf bytes.Buffer
+	mux := http.NewServeMux()
+	mux.Handle("/panic", faultinject.PanicHandler("boom"))
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("fine"))
+	})
+	ts := httptest.NewServer(Harden(mux, Config{ErrorLog: &logBuf}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", resp.StatusCode)
+	}
+	if _, code := errorBody(t, buf.Bytes()); code != codeInternal {
+		t.Errorf("code = %q, want %q", code, codeInternal)
+	}
+	if !strings.Contains(logBuf.String(), "boom") {
+		t.Errorf("panic not logged: %q", logBuf.String())
+	}
+
+	// The process survived; the next request is served normally.
+	resp, err = http.Get(ts.URL + "/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server dead after panic: status %d", resp.StatusCode)
+	}
+}
+
+func TestLoadShedding(t *testing.T) {
+	started := make(chan struct{}, 1)
+	h := Harden(faultinject.SlowHandler(10*time.Second, started),
+		Config{MaxConcurrent: 1, RequestTimeout: -1})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// Occupy the single slot, then cancel the occupant when done.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/slow", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+
+	resp, err := http.Get(ts.URL + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if _, code := errorBody(t, buf.Bytes()); code != codeOverloaded {
+		t.Errorf("code = %q, want %q", code, codeOverloaded)
+	}
+	cancel()
+	wg.Wait()
+}
+
+func TestHealthzBypassesShedding(t *testing.T) {
+	started := make(chan struct{}, 1)
+	mux := http.NewServeMux()
+	mux.Handle("/slow", faultinject.SlowHandler(10*time.Second, started))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	ts := httptest.NewServer(Harden(mux, Config{MaxConcurrent: 1, RequestTimeout: -1}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/slow", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("saturated server refused liveness probe: status %d", resp.StatusCode)
+	}
+}
+
+func TestRequestDeadlineViaMiddleware(t *testing.T) {
+	// A handler that honors its context sees the deadline imposed by
+	// Harden fire.
+	h := Harden(faultinject.SlowHandler(10*time.Second, nil),
+		Config{RequestTimeout: 30 * time.Millisecond})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+}
+
+func TestSimplifyDeadlineReturns504(t *testing.T) {
+	// The real policy path: with a nanosecond budget the context check at
+	// the first MDP step fires and the handler answers 504 with the
+	// timeout code.
+	opts := core.DefaultOptions(errm.SED, core.Plus)
+	to := core.DefaultTrainOptions()
+	to.RL.Episodes = 2
+	trained, _, err := core.Train(gen.New(gen.Geolife(), 1).Dataset(3, 50), opts, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWith([]*core.Trained{trained}, Config{RequestTimeout: time.Nanosecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	tr := gen.New(gen.Geolife(), 2).Dataset(1, 300)[0]
+	resp, raw := post(t, ts.URL+"/v1/simplify", map[string]interface{}{
+		"algorithm": "rlts+", "measure": "SED", "w": 30, "points": points(tr),
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", resp.StatusCode, raw)
+	}
+	if _, code := errorBody(t, raw); code != codeTimeout {
+		t.Errorf("code = %q, want %q", code, codeTimeout)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	started := make(chan struct{}, 1)
+	h := Harden(faultinject.SlowHandler(200*time.Millisecond, started),
+		Config{RequestTimeout: -1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: h}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- ServeListener(ctx, srv, ln, 5*time.Second) }()
+
+	type result struct {
+		status int
+		body   string
+		err    error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		resc <- result{status: resp.StatusCode, body: buf.String()}
+	}()
+	<-started
+	cancel() // "SIGTERM" while the request is in flight
+
+	res := <-resc
+	if res.err != nil {
+		t.Fatalf("in-flight request dropped during drain: %v", res.err)
+	}
+	if res.status != http.StatusOK || res.body != "slow-ok" {
+		t.Fatalf("in-flight request got (%d, %q), want (200, slow-ok)", res.status, res.body)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeListener returned %v after clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeListener did not return after drain")
+	}
+
+	// The listener is closed: new connections are refused.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), 200*time.Millisecond); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	ts := httptest.NewServer(NewWith(nil, Config{}).Handler())
+	defer ts.Close()
+
+	// All-whitespace keeps the JSON decoder reading until it trips the
+	// byte limit rather than a syntax error.
+	body := bytes.Repeat([]byte(" "), MaxBodyBytes+16)
+	resp, err := http.Post(ts.URL+"/v1/simplify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	if _, code := errorBody(t, buf.Bytes()); code != codeBodyTooLarge {
+		t.Errorf("code = %q, want %q", code, codeBodyTooLarge)
+	}
+}
+
+func TestTooManyPoints(t *testing.T) {
+	ts := httptest.NewServer(NewWith(nil, Config{MaxPoints: 10}).Handler())
+	defer ts.Close()
+
+	tr := gen.New(gen.Geolife(), 1).Dataset(1, 11)[0]
+	resp, raw := post(t, ts.URL+"/v1/simplify", map[string]interface{}{
+		"algorithm": "uniform", "w": 5, "points": points(tr),
+	})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (%s)", resp.StatusCode, raw)
+	}
+	if _, code := errorBody(t, raw); code != codeTooManyPoints {
+		t.Errorf("code = %q, want %q", code, codeTooManyPoints)
+	}
+}
+
+func TestInputValidationCodes(t *testing.T) {
+	ts := httptest.NewServer(NewWith(nil, Config{}).Handler())
+	defer ts.Close()
+
+	ok := points(gen.New(gen.Geolife(), 1).Dataset(1, 40)[0])
+	cases := []struct {
+		name   string
+		body   interface{}
+		status int
+		code   string
+	}{
+		{"w below 2", map[string]interface{}{"algorithm": "uniform", "w": 1, "points": ok}, 400, codeInvalidBudget},
+		{"negative ratio", map[string]interface{}{"algorithm": "uniform", "ratio": -0.5, "points": ok}, 400, codeInvalidBudget},
+		{"ratio one", map[string]interface{}{"algorithm": "uniform", "ratio": 1.0, "points": ok}, 400, codeInvalidBudget},
+		{"ratio above one", map[string]interface{}{"algorithm": "uniform", "ratio": 1.5, "points": ok}, 400, codeInvalidBudget},
+		{"single point", map[string]interface{}{"algorithm": "uniform", "w": 2,
+			"points": [][3]float64{{0, 0, 0}}}, 400, codeInvalidPoints},
+		{"unordered timestamps", map[string]interface{}{"algorithm": "uniform", "w": 2,
+			"points": [][3]float64{{0, 0, 5}, {1, 1, 1}}}, 400, codeInvalidPoints},
+		{"duplicate timestamps", map[string]interface{}{"algorithm": "uniform", "w": 2,
+			"points": [][3]float64{{0, 0, 1}, {1, 1, 1}}}, 400, codeInvalidPoints},
+		{"unknown measure", map[string]interface{}{"algorithm": "uniform", "w": 2, "measure": "XYZ",
+			"points": ok}, 400, codeInvalidMeasure},
+		{"unknown algorithm", map[string]interface{}{"algorithm": "nope", "w": 2, "points": ok}, 400, codeUnknownAlgorithm},
+	}
+	for _, tc := range cases {
+		resp, raw := post(t, ts.URL+"/v1/simplify", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, raw)
+			continue
+		}
+		if _, code := errorBody(t, raw); code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, code, tc.code)
+		}
+	}
+
+	// NaN cannot be expressed in JSON at all; it dies in the decoder as a
+	// plain bad request, never reaching the algorithms.
+	resp, err := http.Post(ts.URL+"/v1/simplify", "application/json",
+		strings.NewReader(`{"algorithm":"uniform","w":2,"points":[[0,0,0],[NaN,1,1]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("NaN literal: status %d, want 400", resp.StatusCode)
+	}
+	if _, code := errorBody(t, buf.Bytes()); code != codeBadRequest {
+		t.Errorf("NaN literal: code %q, want %q", code, codeBadRequest)
+	}
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// Default hardening parameters; see Config.
+const (
+	DefaultMaxConcurrent  = 64
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxPoints      = 1_000_000
+	DefaultDrainTimeout   = 30 * time.Second
+)
+
+// Config tunes the service's protective middleware. The zero value means
+// "use the defaults"; explicit negatives disable individual limits.
+type Config struct {
+	// MaxConcurrent caps simultaneously-processed requests; excess
+	// requests are shed immediately with 429 rather than queued (a loaded
+	// simplification server is CPU-bound, so queueing only grows latency).
+	// 0 means DefaultMaxConcurrent, negative disables the cap.
+	MaxConcurrent int
+	// RequestTimeout is the per-request deadline applied to the request
+	// context; handlers that honor the context (the policy simplification
+	// path does) abort with 504 when it passes. 0 means
+	// DefaultRequestTimeout, negative disables.
+	RequestTimeout time.Duration
+	// MaxPoints caps the trajectory size a single request may carry.
+	// 0 means DefaultMaxPoints, negative disables.
+	MaxPoints int
+	// ErrorLog receives one line per recovered panic (default os.Stderr).
+	ErrorLog io.Writer
+}
+
+func (c Config) normalized() Config {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MaxPoints == 0 {
+		c.MaxPoints = DefaultMaxPoints
+	}
+	if c.ErrorLog == nil {
+		c.ErrorLog = os.Stderr
+	}
+	return c
+}
+
+// Harden wraps h with the service's protective middleware, outermost
+// first:
+//
+//   - panic recovery: a panicking handler becomes a 500 JSON error and a
+//     log line, never a dead process (http.ErrAbortHandler is re-raised,
+//     as the net/http contract requires);
+//   - load shedding: at most MaxConcurrent requests run at once, the rest
+//     get an immediate 429 with a Retry-After hint;
+//   - deadline: the request context expires after RequestTimeout.
+//
+// GET /healthz bypasses shedding and deadline so liveness probes still
+// answer while the service is saturated. Harden is exported separately
+// from Server so tests (and other services) can wrap arbitrary handlers.
+func Harden(h http.Handler, cfg Config) http.Handler {
+	cfg = cfg.normalized()
+	inner := h
+	var sem chan struct{}
+	if cfg.MaxConcurrent > 0 {
+		sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				fmt.Fprintf(cfg.ErrorLog, "server: panic serving %s %s: %v\n", r.Method, r.URL.Path, rec)
+				httpError(w, http.StatusInternalServerError, codeInternal, "internal server error")
+			}
+		}()
+		if r.URL.Path == "/healthz" {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			default:
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests, codeOverloaded, "server at capacity, retry later")
+				return
+			}
+		}
+		if cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// Serve runs srv until ctx is canceled (typically by SIGTERM via
+// signal.NotifyContext), then shuts down gracefully: the listener closes,
+// in-flight requests get up to drain to finish, and only then does Serve
+// return. A nil error means a clean start-to-drain lifecycle.
+func Serve(ctx context.Context, srv *http.Server, drain time.Duration) error {
+	addr := srv.Addr
+	if addr == "" {
+		addr = ":http"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeListener(ctx, srv, ln, drain)
+}
+
+// ServeListener is Serve on an existing listener (which it takes ownership
+// of). Split out so tests can bind port 0 first and learn the address.
+func ServeListener(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		err := srv.Shutdown(sctx)
+		<-errc // Serve has returned ErrServerClosed by now
+		if err != nil {
+			return fmt.Errorf("server: drain incomplete after %v: %w", drain, err)
+		}
+		return nil
+	}
+}

@@ -21,10 +21,20 @@
 //
 //	{"algorithm": "RLTS+", "kept": 50, "of": 500,
 //	 "error": 3.21, "points": [[x, y, t], ...]}
+//
+// Failures come back as typed JSON errors — {"error": message, "code":
+// machine-readable-code} — with the conventional status: 400 for invalid
+// input (non-finite coordinates, unordered timestamps, bad budgets), 413
+// for oversized bodies or trajectories, 429 under load shedding, 504 when
+// the per-request deadline expires, and 500 for recovered panics. The
+// Harden middleware (panic recovery, load shedding, deadlines) wraps every
+// handler; see middleware.go.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -37,22 +47,47 @@ import (
 	"rlts/internal/traj"
 )
 
-// MaxBodyBytes bounds request bodies (1,000,000 points ≈ 48 MB of JSON is
-// far beyond any sane request).
+// MaxBodyBytes bounds request bodies at 64 MiB. A 1,000,000-point
+// trajectory is ~25-50 MB of JSON depending on coordinate precision, so
+// the limit admits the largest sane request (see Config.MaxPoints) with
+// headroom while refusing unbounded uploads with 413.
 const MaxBodyBytes = 64 << 20
+
+// Machine-readable error codes carried in the "code" field of error
+// responses.
+const (
+	codeBadRequest       = "bad_request"
+	codeInvalidPoints    = "invalid_points"
+	codeInvalidBudget    = "invalid_budget"
+	codeInvalidMeasure   = "invalid_measure"
+	codeUnknownAlgorithm = "unknown_algorithm"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeBodyTooLarge     = "body_too_large"
+	codeTooManyPoints    = "too_many_points"
+	codeOverloaded       = "overloaded"
+	codeTimeout          = "timeout"
+	codeInternal         = "internal"
+)
 
 // Server routes simplification requests to registered algorithms.
 type Server struct {
 	mux      *http.ServeMux
+	cfg      Config
 	policies map[string]*core.Trained // lower-case name -> policy
 }
 
 // New creates a server with the given trained policies registered under
-// their paper names (e.g. "rlts+"). The heuristic baselines are always
-// available.
+// their paper names (e.g. "rlts+") and default hardening (see Config).
+// The heuristic baselines are always available.
 func New(policies []*core.Trained) *Server {
+	return NewWith(policies, Config{})
+}
+
+// NewWith is New with explicit hardening configuration.
+func NewWith(policies []*core.Trained, cfg Config) *Server {
 	s := &Server{
 		mux:      http.NewServeMux(),
+		cfg:      cfg.normalized(),
 		policies: make(map[string]*core.Trained),
 	}
 	for _, p := range policies {
@@ -66,8 +101,10 @@ func New(policies []*core.Trained) *Server {
 	return s
 }
 
-// Handler returns the http.Handler for the service.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the http.Handler for the service, wrapped in the
+// hardening middleware (panic recovery, load shedding, per-request
+// deadlines).
+func (s *Server) Handler() http.Handler { return Harden(s.mux, s.cfg) }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
@@ -76,7 +113,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		httpError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET only")
 		return
 	}
 	names := []string{
@@ -106,44 +143,95 @@ type simplifyResponse struct {
 	Points    [][3]float64 `json:"points"`
 }
 
+// decodeBody decodes a JSON request body under the size limit, reporting
+// the failure itself (413 for an oversized body, 400 otherwise). Returns
+// false when the request is already answered.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		httpError(w, http.StatusBadRequest, codeBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// parseTrajectory validates raw points into a trajectory, reporting the
+// failure itself. Returns nil when the request is already answered.
+func (s *Server) parseTrajectory(w http.ResponseWriter, points [][3]float64) traj.Trajectory {
+	if s.cfg.MaxPoints > 0 && len(points) > s.cfg.MaxPoints {
+		httpError(w, http.StatusRequestEntityTooLarge, codeTooManyPoints,
+			"trajectory has %d points, limit is %d", len(points), s.cfg.MaxPoints)
+		return nil
+	}
+	t, err := traj.FromPoints(points)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, codeInvalidPoints, "invalid trajectory: %v", err)
+		return nil
+	}
+	return t
+}
+
+// budget resolves the storage budget from the request's w/ratio pair,
+// reporting invalid combinations itself. Returns (0, false) when the
+// request is already answered.
+func budget(w http.ResponseWriter, req *simplifyRequest, n int) (int, bool) {
+	if req.W != 0 {
+		if req.W < 2 {
+			httpError(w, http.StatusBadRequest, codeInvalidBudget, "w must be >= 2, got %d", req.W)
+			return 0, false
+		}
+		return req.W, true
+	}
+	ratio := req.Ratio
+	if ratio == 0 {
+		ratio = 0.1 // default budget: keep 10%
+	}
+	if ratio < 0 || ratio >= 1 {
+		httpError(w, http.StatusBadRequest, codeInvalidBudget, "ratio must be in (0, 1), got %g", ratio)
+		return 0, false
+	}
+	b := int(ratio * float64(n))
+	if b < 2 {
+		b = 2
+	}
+	return b, true
+}
+
 func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		httpError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only")
 		return
 	}
 	var req simplifyRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
-	t, err := toTrajectory(req.Points)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+	t := s.parseTrajectory(w, req.Points)
+	if t == nil {
 		return
 	}
 	m := errm.SED
 	if req.Measure != "" {
+		var err error
 		m, err = errm.Parse(req.Measure)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
+			httpError(w, http.StatusBadRequest, codeInvalidMeasure, "%v", err)
 			return
 		}
 	}
-	budget := req.W
-	if budget <= 0 {
-		ratio := req.Ratio
-		if ratio <= 0 || ratio > 1 {
-			ratio = 0.1
-		}
-		budget = int(ratio * float64(len(t)))
+	b, ok := budget(w, &req, len(t))
+	if !ok {
+		return
 	}
-	if budget < 2 {
-		budget = 2
-	}
-	name, kept, err := s.run(strings.ToLower(req.Algorithm), t, budget, m)
+	name, kept, err := s.run(r.Context(), strings.ToLower(req.Algorithm), t, b, m)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeRunError(w, err)
 		return
 	}
 	resp := simplifyResponse{
@@ -159,10 +247,27 @@ func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, &resp)
 }
 
-// run dispatches to a policy or a baseline.
-func (s *Server) run(algo string, t traj.Trajectory, w int, m errm.Measure) (string, []int, error) {
+// writeRunError maps a simplification failure to its transport shape:
+// deadline expiry becomes 504, client cancellation is left unanswered
+// (the connection is gone), and anything else is a 400.
+func writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, codeTimeout, "request deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// The client went away; nothing useful can be written.
+	default:
+		httpError(w, http.StatusBadRequest, codeUnknownAlgorithm, "%v", err)
+	}
+}
+
+// run dispatches to a policy or a baseline. The context cancels the
+// policy scan mid-trajectory; the heuristic baselines run to completion
+// (they are bounded by MaxPoints, and bellman additionally by its own
+// size cap).
+func (s *Server) run(ctx context.Context, algo string, t traj.Trajectory, w int, m errm.Measure) (string, []int, error) {
 	if p, ok := s.policies[strings.ToLower(algo+"/"+m.String())]; ok {
-		kept, err := p.SimplifyGreedy(t, w)
+		kept, err := p.SimplifyGreedyCtx(ctx, t, w)
 		return p.Opts.Name(), kept, err
 	}
 	switch algo {
@@ -207,20 +312,17 @@ type statsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		httpError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only")
 		return
 	}
 	var req struct {
 		Points [][3]float64 `json:"points"`
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
-	t, err := toTrajectory(req.Points)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+	t := s.parseTrajectory(w, req.Points)
+	if t == nil {
 		return
 	}
 	st := traj.Summarize([]traj.Trajectory{t})
@@ -233,20 +335,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func toTrajectory(points [][3]float64) (traj.Trajectory, error) {
-	if len(points) < 2 {
-		return nil, fmt.Errorf("server: need at least 2 points, got %d", len(points))
-	}
-	t := make(traj.Trajectory, len(points))
-	for i, p := range points {
-		t[i].X, t[i].Y, t[i].T = p[0], p[1], p[2]
-	}
-	if err := t.Validate(); err != nil {
-		return nil, fmt.Errorf("server: invalid trajectory: %w", err)
-	}
-	return t, nil
-}
-
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
@@ -255,8 +343,13 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+// httpError writes the typed JSON error shape: a human-readable message
+// plus a stable machine-readable code.
+func httpError(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf(format, args...),
+		"code":  code,
+	})
 }

@@ -1,0 +1,55 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic writes a file so that a crash mid-write never leaves a
+// truncated or half-written file at path: write writes into a temp file in
+// the same directory, which is fsynced, closed and renamed over path only
+// on success. On any error the temp file is removed and path is untouched.
+//
+// Every artifact the system persists (policies, checkpoints, datasets,
+// experiment exports) goes through here: a policy file that exists is by
+// construction complete.
+func WriteAtomic(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("storage: atomic write %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("storage: atomic write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("storage: atomic write %s: sync: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("storage: atomic write %s: close: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("storage: atomic write %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteFileAtomic is WriteAtomic for callers that already hold the bytes.
+func WriteFileAtomic(path string, data []byte) error {
+	return WriteAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

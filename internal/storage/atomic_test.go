@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rlts/internal/gen"
+)
+
+func TestWriteAtomicRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := WriteFileAtomic(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read back %q", got)
+	}
+	// Overwrite is atomic too.
+	if err := WriteFileAtomic(path, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "world" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+}
+
+func TestWriteAtomicFailureLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.json")
+	if err := WriteFileAtomic(path, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("partial garbage")) // simulate a crash mid-save
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "good" {
+		t.Fatalf("target corrupted: %q, %v", got, rerr)
+	}
+	// No temp litter left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+// TestDecodeTruncated simulates the file a non-atomic writer would leave
+// after a crash: every strict prefix of a valid encoding must decode to an
+// error, never to a silently short trajectory or a panic.
+func TestDecodeTruncated(t *testing.T) {
+	tr := gen.New(gen.Geolife(), 1).Trajectory(50)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr, DefaultPrecision); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, err := Decode(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("truncated encoding of %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+	if got, err := Decode(bytes.NewReader(full)); err != nil || len(got) != len(tr) {
+		t.Fatalf("full decode: %d points, %v", len(got), err)
+	}
+}
+
+func TestWriteAtomicCreatesInMissingDirFails(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "nope", "x"), []byte("x"))
+	if err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+	if !strings.Contains(err.Error(), "atomic write") {
+		t.Errorf("error %v lacks context", err)
+	}
+}
+
+func TestWriteAtomicNoRelativeDir(t *testing.T) {
+	// A bare filename (no directory component) must work: temp goes to ".".
+	d := t.TempDir()
+	old, _ := os.Getwd()
+	if err := os.Chdir(d); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	if err := WriteFileAtomic("bare.txt", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(d, "bare.txt"))
+	if err != nil || string(got) != "ok" {
+		t.Fatalf("bare write: %q %v", got, err)
+	}
+}
+
+func ExampleWriteAtomic() {
+	path := filepath.Join(os.TempDir(), "rlts-example-traj.bin")
+	defer os.Remove(path)
+	tr := gen.New(gen.Truck(), 7).Trajectory(10)
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		return Encode(w, tr, DefaultPrecision)
+	}); err != nil {
+		fmt.Println("write:", err)
+		return
+	}
+	f, _ := os.Open(path)
+	defer f.Close()
+	back, err := Decode(f)
+	fmt.Println(len(back), err)
+	// Output: 10 <nil>
+}

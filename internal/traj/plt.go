@@ -72,6 +72,12 @@ func ReadPLT(r io.Reader) (Trajectory, error) {
 		if err != nil {
 			return nil, fmt.Errorf("traj: plt line %d: timestamp: %w", lineNum, err)
 		}
+		// ParseFloat accepts "NaN" and "Inf", which would otherwise flow
+		// silently through the projection into every error measure.
+		if !isFinite(lat) || !isFinite(lon) || !isFinite(days) {
+			return nil, fmt.Errorf("traj: plt line %d: %w: lat=%v lon=%v days=%v",
+				lineNum, ErrNotFinite, lat, lon, days)
+		}
 		if !haveOrigin {
 			lat0, lon0 = lat, lon
 			haveOrigin = true
@@ -139,6 +145,8 @@ func ReadPLTDir(dir string) ([]Trajectory, []error, error) {
 	}
 	return out, errs, nil
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // earthRadiusMeters is the WGS-84 mean Earth radius.
 const earthRadiusMeters = 6371008.8

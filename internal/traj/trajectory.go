@@ -25,6 +25,26 @@ var ErrNotOrdered = errors.New("traj: timestamps not strictly increasing")
 // ErrNotFinite is returned by Validate when a point contains NaN or Inf.
 var ErrNotFinite = errors.New("traj: non-finite coordinate")
 
+// FromPoints builds a validated trajectory from raw (x, y, t) triples —
+// the constructor for externally-supplied data (HTTP payloads, decoded
+// files). It rejects NaN/Inf coordinates and non-increasing timestamps
+// with a descriptive error instead of letting garbage propagate into the
+// error measures, and requires at least two points (nothing shorter can be
+// simplified).
+func FromPoints(points [][3]float64) (Trajectory, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 points, got %d", ErrTooShort, len(points))
+	}
+	t := make(Trajectory, len(points))
+	for i, p := range points {
+		t[i].X, t[i].Y, t[i].T = p[0], p[1], p[2]
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
 // Len returns the number of points.
 func (t Trajectory) Len() int { return len(t) }
 

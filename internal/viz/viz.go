@@ -7,9 +7,9 @@ package viz
 import (
 	"fmt"
 	"io"
-	"os"
 	"strings"
 
+	"rlts/internal/storage"
 	"rlts/internal/traj"
 )
 
@@ -139,17 +139,9 @@ func (f *Figure) WriteSVG(w io.Writer) error {
 	return err
 }
 
-// SaveSVG renders the figure to a file.
+// SaveSVG renders the figure to a file atomically.
 func (f *Figure) SaveSVG(path string) error {
-	file, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer file.Close()
-	if err := f.WriteSVG(file); err != nil {
-		return err
-	}
-	return file.Close()
+	return storage.WriteAtomic(path, f.WriteSVG)
 }
 
 func escapeXML(s string) string {

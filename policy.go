@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"rlts/internal/core"
+	"rlts/internal/storage"
 )
 
 // Policy is a trained RLTS policy bound to the options it was trained
@@ -127,17 +128,10 @@ func (p *Policy) GreedySimplifier() Simplifier {
 // Save writes the policy (weights + options) to w as JSON.
 func (p *Policy) Save(w io.Writer) error { return p.t.Save(w) }
 
-// SaveFile writes the policy to a file.
+// SaveFile writes the policy to a file atomically: the previous content
+// survives intact if the write fails partway.
 func (p *Policy) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := p.t.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return storage.WriteAtomic(path, p.t.Save)
 }
 
 // LoadPolicy reads a policy written by Save.

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Full verification gate: vet, build, and the test suite under the race
+# Full verification gate: vet, build, the test suite under the race
 # detector (which exercises the parallel trainer and the parallel
-# evaluation harness). This is what `make check` runs.
+# evaluation harness), and a short fuzz smoke pass over every fuzz
+# target. This is what `make check` runs.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -11,4 +12,14 @@ echo "== go build =="
 go build ./...
 echo "== go test -race =="
 go test -race ./...
+
+# FUZZTIME can be raised for a deeper run; 10s per target keeps the gate
+# fast while still shaking out regressions in the parsers and handlers.
+FUZZTIME="${FUZZTIME:-10s}"
+echo "== fuzz smoke ($FUZZTIME per target) =="
+go test ./internal/traj -run '^$' -fuzz '^FuzzReadCSV$' -fuzztime "$FUZZTIME"
+go test ./internal/traj -run '^$' -fuzz '^FuzzReadPLT$' -fuzztime "$FUZZTIME"
+go test ./internal/traj -run '^$' -fuzz '^FuzzFromPoints$' -fuzztime "$FUZZTIME"
+go test ./internal/server -run '^$' -fuzz '^FuzzSimplifyHandler$' -fuzztime "$FUZZTIME"
+go test ./internal/server -run '^$' -fuzz '^FuzzStatsHandler$' -fuzztime "$FUZZTIME"
 echo "check: OK"
