@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test check bench-rollout
+.PHONY: test check bench-rollout bench-obs
 
 test:
 	$(GO) test ./...
@@ -14,3 +14,8 @@ check:
 # Regenerate the rollout-engine benchmark baseline (BENCH_rollout.json).
 bench-rollout:
 	sh scripts/bench_rollout.sh
+
+# Benchmark the metrics primitives (counter/gauge/histogram hot paths and
+# the text encoder).
+bench-obs:
+	$(GO) test ./internal/obs -run '^$$' -bench . -benchmem

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"rlts/internal/eval"
+	"rlts/internal/obs"
 )
 
 func main() {
@@ -30,8 +31,10 @@ func main() {
 		verbose = flag.Bool("v", false, "log training progress")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		workers = flag.Int("workers", 0, "parallel workers for training and evaluation (0 = all CPUs, 1 = serial)")
+		logJSON = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+	logger := obs.CommandLogger(os.Stderr, "rlts-bench", *verbose, *logJSON)
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -64,6 +67,7 @@ func main() {
 		exps = []eval.Experiment{e}
 	}
 	for _, e := range exps {
+		logger.Debug("experiment starting", "id", e.ID, "paper", e.Paper, "scale", s.Name)
 		start := time.Now()
 		tb, err := e.Run(ctx)
 		if err != nil {

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"rlts/internal/gen"
+	"rlts/internal/obs"
 	"rlts/internal/storage"
 	"rlts/internal/traj"
 )
@@ -29,8 +30,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		out     = flag.String("o", "", "output CSV file (default: stdout)")
 		quiet   = flag.Bool("q", false, "suppress the summary on stderr")
+		logJSON = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+	logger := obs.CommandLogger(os.Stderr, "rlts-datagen", !*quiet, *logJSON)
 
 	profile, ok := gen.ByName(*dataset)
 	if !ok {
@@ -62,6 +65,8 @@ func main() {
 		os.Exit(1)
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "%s (%s, seed %d)\n%s\n", profile.Name, "synthetic", *seed, traj.Summarize(ds))
+		logger.Info("dataset generated", "profile", profile.Name, "seed", *seed,
+			"trajectories", len(ds))
+		fmt.Fprintln(os.Stderr, traj.Summarize(ds))
 	}
 }

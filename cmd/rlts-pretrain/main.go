@@ -17,6 +17,7 @@ import (
 	"rlts/internal/core"
 	"rlts/internal/errm"
 	"rlts/internal/gen"
+	"rlts/internal/obs"
 	"rlts/internal/storage"
 )
 
@@ -26,9 +27,11 @@ func main() {
 		count  = flag.Int("count", 60, "training trajectories")
 		length = flag.Int("len", 1000, "points per training trajectory")
 		epochs = flag.Int("epochs", 5, "training epochs")
-		seed   = flag.Int64("seed", 1, "seed")
+		seed    = flag.Int64("seed", 1, "seed")
+		logJSON = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+	logger := obs.CommandLogger(os.Stderr, "rlts-pretrain", false, *logJSON)
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
@@ -52,7 +55,8 @@ func main() {
 			if err := storage.WriteAtomic(path, trained.Save); err != nil {
 				fail(err)
 			}
-			fmt.Printf("%s: %d transitions in %v\n", path, res.StepsRun, time.Since(start).Round(time.Millisecond))
+			logger.Info("policy written", "path", path, "transitions", res.StepsRun,
+				"elapsed", time.Since(start).Round(time.Millisecond).String())
 		}
 	}
 }

@@ -7,6 +7,14 @@
 //	curl -s -X POST localhost:8080/v1/simplify -d '{
 //	  "algorithm": "rlts+", "measure": "SED", "ratio": 0.1,
 //	  "points": [[0,0,0],[1,0,1],[2,5,2],[3,0,3],[4,0,4]]}'
+//	curl -s localhost:8080/metrics          # Prometheus text format
+//
+// Streaming sessions (online variant only):
+//
+//	curl -s -X POST localhost:8080/v1/stream -d '{"measure":"SED","w":50}'
+//	curl -s -X POST localhost:8080/v1/stream/ID/points -d '{"points":[[0,0,0],[1,0,1]]}'
+//	curl -s localhost:8080/v1/stream/ID     # snapshot
+//	curl -s -X DELETE localhost:8080/v1/stream/ID
 package main
 
 import (
@@ -21,26 +29,33 @@ import (
 
 	"rlts"
 	"rlts/internal/core"
+	"rlts/internal/obs"
 	"rlts/internal/server"
 	"rlts/pretrained"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		maxConc = flag.Int("max-concurrent", server.DefaultMaxConcurrent, "simultaneous requests before 429 load shedding (negative = unlimited)")
-		reqTO   = flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline (negative = none)")
-		maxPts  = flag.Int("max-points", server.DefaultMaxPoints, "largest trajectory accepted per request (negative = unlimited)")
-		drain   = flag.Duration("drain-timeout", server.DefaultDrainTimeout, "how long in-flight requests may finish after SIGTERM")
+		addr       = flag.String("addr", ":8080", "listen address")
+		maxConc    = flag.Int("max-concurrent", server.DefaultMaxConcurrent, "simultaneous requests before 429 load shedding (negative = unlimited)")
+		reqTO      = flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline (negative = none)")
+		maxPts     = flag.Int("max-points", server.DefaultMaxPoints, "largest trajectory accepted per request (negative = unlimited)")
+		drain      = flag.Duration("drain-timeout", server.DefaultDrainTimeout, "how long in-flight requests may finish after SIGTERM")
+		streamTTL  = flag.Duration("stream-ttl", server.DefaultStreamTTL, "evict streaming sessions idle longer than this (negative = never)")
+		maxStreams = flag.Int("max-streams", server.DefaultMaxStreams, "concurrently open streaming sessions before 429 (negative = unlimited)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		verbose    = flag.Bool("v", false, "log every request (Debug level)")
 	)
 	flag.Parse()
+	logger := obs.CommandLogger(os.Stderr, "rlts-server", *verbose, *logJSON)
 
 	var policies []*core.Trained
 	for _, v := range []rlts.Variant{rlts.Online, rlts.Plus} {
 		for _, m := range rlts.Measures {
 			p, err := pretrained.Load(m, v)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "rlts-server: loading %v/%v: %v\n", v, m, err)
+				logger.Error("loading pretrained policy", "variant", v, "measure", m, "err", err)
 				os.Exit(1)
 			}
 			policies = append(policies, trainedOf(p))
@@ -50,10 +65,16 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		RequestTimeout: *reqTO,
 		MaxPoints:      *maxPts,
+		StreamTTL:      *streamTTL,
+		MaxStreams:     *maxStreams,
+		EnablePprof:    *pprofOn,
+		Logger:         logger,
 	}
+	sv := server.NewWith(policies, cfg)
+	defer sv.Close()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewWith(policies, cfg).Handler(),
+		Handler:           sv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      2 * time.Minute,
@@ -62,12 +83,12 @@ func main() {
 	// requests instead of dropping them mid-simplification.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "rlts-server: %d policies loaded, listening on %s\n", len(policies), *addr)
+	logger.Info("listening", "addr", *addr, "policies", len(policies), "pprof", *pprofOn)
 	if err := server.Serve(ctx, srv, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "rlts-server: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "rlts-server: drained, bye")
+	logger.Info("drained, bye")
 }
 
 // trainedOf unwraps the public Policy into the internal representation

@@ -23,6 +23,7 @@ import (
 	baseOnline "rlts/internal/baseline/online"
 	"rlts/internal/core"
 	"rlts/internal/errm"
+	"rlts/internal/obs"
 	"rlts/internal/storage"
 	"rlts/internal/traj"
 )
@@ -37,8 +38,11 @@ func main() {
 		w       = flag.Int("w", 0, "absolute storage budget per trajectory")
 		ratio   = flag.Float64("ratio", 0.1, "storage budget as a fraction of |T| (ignored when -w is set)")
 		seed    = flag.Int64("seed", 1, "seed for stochastic policies")
+		verbose = flag.Bool("v", false, "log per-trajectory progress")
+		logJSON = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+	logger := obs.CommandLogger(os.Stderr, "rlts-simplify", *verbose, *logJSON)
 
 	if *in == "" {
 		fail(fmt.Errorf("provide an input file with -in"))
@@ -91,6 +95,8 @@ func main() {
 		results = append(results, simplified)
 		totalErr += errm.Error(m, t, kept)
 		points += len(t)
+		logger.Debug("trajectory simplified", "index", i, "in_points", len(t),
+			"out_points", len(kept), "budget", budget)
 	}
 
 	fmt.Printf("algorithm:      %s\n", name)

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"rlts/internal/core"
 	"rlts/internal/errm"
 	"rlts/internal/gen"
+	"rlts/internal/obs"
 	"rlts/internal/rl"
 	"rlts/internal/storage"
 	"rlts/internal/traj"
@@ -53,9 +55,12 @@ func main() {
 		ckptN    = flag.Int("checkpoint-every", 1, "batches between checkpoint writes")
 		resume   = flag.Bool("resume", false, "continue from -checkpoint instead of starting fresh (needs identical data flags)")
 		out      = flag.String("o", "policy.json", "output policy file")
+		metrics  = flag.String("metrics-out", "", "dump final training metrics (Prometheus text format) to this file")
 		verbose  = flag.Bool("v", false, "log training progress")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+	logger := obs.CommandLogger(os.Stderr, "rlts-train", *verbose, *logJSON)
 
 	m, err := errm.Parse(*measure)
 	if err != nil {
@@ -102,6 +107,7 @@ func main() {
 	to.RL.Checkpoint = *ckpt
 	to.RL.CheckpointEvery = *ckptN
 	to.WRatio = *wratio
+	to.RL.Logger = logger
 	if *verbose {
 		to.RL.Log = os.Stderr
 		to.RL.LogEvery = 50
@@ -116,11 +122,11 @@ func main() {
 	)
 	start := time.Now()
 	if *resume {
-		fmt.Fprintf(os.Stderr, "rlts-train: resuming %s/%s from %s\n", opts.Name(), m, *ckpt)
+		logger.Info("resuming", "algorithm", opts.Name(), "measure", m.String(), "checkpoint", *ckpt)
 		trained, res, err = core.ResumeTrain(dataset, opts, to)
 	} else {
-		fmt.Fprintf(os.Stderr, "rlts-train: training %s/%s (k=%d, J=%d) on %d trajectories\n",
-			opts.Name(), m, *k, *j, len(dataset))
+		logger.Info("training", "algorithm", opts.Name(), "measure", m.String(),
+			"k", *k, "j", *j, "trajectories", len(dataset))
 		trained, res, err = core.Train(dataset, opts, to)
 	}
 	if err != nil {
@@ -129,8 +135,6 @@ func main() {
 		}
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "rlts-train: %d episodes, %d transitions in %v (best episode reward %.4f)\n",
-		res.EpisodesRun, res.StepsRun, time.Since(start).Round(time.Millisecond), res.BestReward)
 	if !res.Health.Ok() {
 		fmt.Fprintf(os.Stderr, "rlts-train: WARNING: divergence guards fired (%d rollout skips, %d gradient skips, %d rollbacks); policy is the last good state\n",
 			res.Health.RolloutSkips, res.Health.GradSkips, res.Health.Rollbacks)
@@ -145,6 +149,57 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "rlts-train: policy written to %s\n", *out)
+	if *metrics != "" {
+		if err := storage.WriteAtomic(*metrics, func(w io.Writer) error {
+			return obs.Default().WriteText(w)
+		}); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "rlts-train: metrics written to %s\n", *metrics)
+	}
+
+	// The closing one-liner reads from the metrics registry — the same
+	// numbers a scrape or -metrics-out would report — so the summary and
+	// the exported telemetry can never disagree.
+	samples := snapshotMetrics()
+	fmt.Fprintf(os.Stderr,
+		"rlts-train: done: episodes=%d best_reward=%.4f guard_trips=%d checkpoints=%d elapsed=%v\n",
+		int(metricValue(samples, "rlts_train_episodes_total", nil)),
+		res.BestReward,
+		sumMetric(samples, "rlts_train_guard_trips_total"),
+		int(metricValue(samples, "rlts_train_checkpoints_total", nil)),
+		time.Since(start).Round(time.Millisecond))
+}
+
+// snapshotMetrics round-trips the default registry through its own text
+// encoding, yielding a flat sample list to pull summary values from.
+func snapshotMetrics() []obs.Sample {
+	var buf bytes.Buffer
+	if err := obs.Default().WriteText(&buf); err != nil {
+		return nil
+	}
+	samples, err := obs.ParseText(&buf)
+	if err != nil {
+		return nil
+	}
+	return samples
+}
+
+func metricValue(samples []obs.Sample, name string, labels map[string]string) float64 {
+	v, _ := obs.Find(samples, name, labels)
+	return v
+}
+
+// sumMetric totals every series of a labeled counter family (e.g. guard
+// trips across kinds).
+func sumMetric(samples []obs.Sample, name string) int {
+	var total float64
+	for _, s := range samples {
+		if s.Name == name {
+			total += s.Value
+		}
+	}
+	return int(total)
 }
 
 func fail(err error) {

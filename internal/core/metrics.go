@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync"
+
+	"rlts/internal/errm"
+	"rlts/internal/obs"
+)
+
+// Simplification metrics, registered in the process-wide obs registry.
+// Hot-path discipline: the MDP step loop and Streamer.Push never touch an
+// atomic per step — counts accumulate in plain locals/fields and flush as
+// a single atomic add per run (Simplify) or per snapshot (Streamer), so
+// the simplify/rollout benchmarks stay within noise of the uninstrumented
+// build.
+//
+// Registration is lazy (first Simplify/Snapshot pays it) rather than
+// package-init eager: init-time registry allocations shift the heap
+// layout of everything allocated afterwards, which measurably perturbs
+// the alignment-sensitive hot-path microbenchmarks.
+type coreMetricsSet struct {
+	simplifyRuns     *obs.Counter
+	simplifySteps    *obs.Counter
+	streamPoints     *obs.Counter
+	streamSkipped    *obs.Counter
+	streamBufferFill *obs.Histogram
+
+	// simplifyError holds the per-measure error distribution of served
+	// simplifications. The buckets span the synthetic profiles' typical
+	// SED/PED meters and the dimensionless SAD/DAD radians.
+	simplifyError map[errm.Measure]*obs.Histogram
+}
+
+var (
+	coreMetricsOnce sync.Once
+	coreMetricsVal  *coreMetricsSet
+)
+
+func coreMetrics() *coreMetricsSet {
+	coreMetricsOnce.Do(func() {
+		r := obs.Default()
+		errs := make(map[errm.Measure]*obs.Histogram, len(errm.Measures))
+		for _, ms := range errm.Measures {
+			errs[ms] = r.Histogram("rlts_simplify_error",
+				"Simplification error of served results, by measure",
+				obs.ExpBuckets(1e-4, 4, 14), obs.L("measure", ms.String()))
+		}
+		coreMetricsVal = &coreMetricsSet{
+			simplifyRuns: r.Counter("rlts_simplify_runs_total",
+				"Completed Simplify/SimplifyCtx invocations"),
+			simplifySteps: r.Counter("rlts_simplify_steps_total",
+				"MDP steps executed by Simplify/SimplifyCtx"),
+			streamPoints: r.Counter("rlts_stream_points_total",
+				"Points pushed through core.Streamer instances"),
+			streamSkipped: r.Counter("rlts_stream_skipped_points_total",
+				"Points discarded unseen by streaming skip actions"),
+			streamBufferFill: r.Histogram("rlts_stream_buffer_fill_ratio",
+				"Buffer occupancy as a fraction of W, observed at snapshot time",
+				obs.LinearBuckets(0.1, 0.1, 10)),
+			simplifyError: errs,
+		}
+	})
+	return coreMetricsVal
+}
+
+// ObserveError records a computed simplification error into the
+// per-measure distribution. Callers that already paid for errm.Error
+// (the HTTP handlers, the evaluation harness) feed it; the simplify hot
+// path itself never computes errors.
+func ObserveError(m errm.Measure, v float64) {
+	if h, ok := coreMetrics().simplifyError[m]; ok {
+		h.Observe(v)
+	}
+}

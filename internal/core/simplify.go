@@ -49,7 +49,8 @@ func SimplifyCtx(ctx context.Context, p *rl.Policy, t traj.Trajectory, w int, op
 	}
 	env := newEnv(t, w, opts, false)
 	state, mask, done := env.Reset()
-	for step := 0; !done; step++ {
+	step := 0
+	for ; !done; step++ {
 		if step%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("core: simplify: %w", err)
@@ -58,6 +59,9 @@ func SimplifyCtx(ctx context.Context, p *rl.Policy, t traj.Trajectory, w int, op
 		a := p.Act(state, mask, sample, r)
 		state, mask, _, done = env.Step(a)
 	}
+	met := coreMetrics()
+	met.simplifyRuns.Inc()
+	met.simplifySteps.Add(uint64(step))
 	return env.Kept(), nil
 }
 

@@ -36,6 +36,11 @@ type Streamer struct {
 	skip    int // pending pushes to drop silently
 	last    geo.Point
 	hasLast bool
+
+	// Unflushed metric deltas: plain ints so Push costs nothing extra;
+	// FlushMetrics publishes them as two atomic adds.
+	unflushedPushed  int
+	unflushedSkipped int
 }
 
 // NewStreamer creates a streaming simplifier with buffer budget w.
@@ -70,9 +75,11 @@ func NewStreamer(p *rl.Policy, w int, opts Options, sample bool, r *rand.Rand) (
 // Push feeds the next point of the stream.
 func (s *Streamer) Push(pt geo.Point) {
 	s.last, s.hasLast = pt, true
+	s.unflushedPushed++
 	defer func() { s.n++ }()
 	if s.skip > 0 {
 		s.skip--
+		s.unflushedSkipped++
 		return
 	}
 	if s.n < s.w {
@@ -161,9 +168,28 @@ func (s *Streamer) BufferSize() int { return s.buf.Size() }
 // pushed point is not buffered (it was skipped), it is appended so the
 // snapshot always ends at the latest observation.
 func (s *Streamer) Snapshot() []geo.Point {
+	s.FlushMetrics()
+	if s.w > 0 {
+		coreMetrics().streamBufferFill.Observe(float64(s.buf.Size()) / float64(s.w))
+	}
 	pts := s.buf.Points()
 	if s.hasLast && (len(pts) == 0 || !pts[len(pts)-1].Equal(s.last)) {
 		pts = append(pts, s.last)
 	}
 	return pts
+}
+
+// FlushMetrics publishes the per-point counters accumulated since the
+// last flush to the obs registry. Snapshot flushes automatically; owners
+// that retire a streamer without a final snapshot (the HTTP session
+// manager's TTL eviction) call it so no points go unaccounted.
+func (s *Streamer) FlushMetrics() {
+	if s.unflushedPushed > 0 {
+		coreMetrics().streamPoints.Add(uint64(s.unflushedPushed))
+		s.unflushedPushed = 0
+	}
+	if s.unflushedSkipped > 0 {
+		coreMetrics().streamSkipped.Add(uint64(s.unflushedSkipped))
+		s.unflushedSkipped = 0
+	}
 }

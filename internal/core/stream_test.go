@@ -94,6 +94,113 @@ func TestStreamerMatchesSimplifyWithoutSkip(t *testing.T) {
 	}
 }
 
+func TestStreamerSmallestBudget(t *testing.T) {
+	// W=2 is the smallest legal budget: the buffer only ever holds the
+	// endpoints plus the incoming point, so every interior point must be
+	// dropped (or skipped) immediately. Exercises the under-three-point
+	// valuation guard in Push.
+	opts := DefaultOptions(errm.SED, Online)
+	p := streamPolicy(t, opts)
+	s, err := NewStreamer(p, 2, opts, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTraj(41, 50)
+	for _, pt := range tr {
+		s.Push(pt)
+		if s.BufferSize() > 2 {
+			t.Fatalf("buffer grew to %d with W=2", s.BufferSize())
+		}
+	}
+	snap := s.Snapshot()
+	if len(snap) < 2 || len(snap) > 3 {
+		t.Fatalf("snapshot %d points with W=2", len(snap))
+	}
+	if !snap[0].Equal(tr[0]) || !snap[len(snap)-1].Equal(tr[len(tr)-1]) {
+		t.Error("W=2 snapshot does not span first..last observation")
+	}
+}
+
+func TestStreamerSnapshotFewerPointsThanBudget(t *testing.T) {
+	// Pushing fewer points than W must return exactly those points: no
+	// padding, no decisions taken.
+	opts := DefaultOptions(errm.SED, Online)
+	p := streamPolicy(t, opts)
+	s, err := NewStreamer(p, 20, opts, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTraj(43, 7)
+	for _, pt := range tr {
+		s.Push(pt)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 7 {
+		t.Fatalf("snapshot %d points, want all 7", len(snap))
+	}
+	for i := range snap {
+		if !snap[i].Equal(tr[i]) {
+			t.Fatalf("point %d altered: %v vs %v", i, snap[i], tr[i])
+		}
+	}
+}
+
+func TestStreamerSnapshotDeterministicAndIdempotent(t *testing.T) {
+	// With sampling off, two streamers fed the same points must produce
+	// identical snapshots, and snapshotting must not perturb the stream:
+	// interleaved mid-stream snapshots leave the final result unchanged.
+	opts := DefaultOptions(errm.DAD, Online)
+	p := streamPolicy(t, opts)
+	tr := testTraj(47, 150)
+	const w = 9
+
+	run := func(snapEvery int) []string {
+		s, err := NewStreamer(p, w, opts, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pt := range tr {
+			s.Push(pt)
+			if snapEvery > 0 && i%snapEvery == 0 {
+				s.Snapshot()
+			}
+		}
+		var out []string
+		for _, pt := range s.Snapshot() {
+			out = append(out, pt.String())
+		}
+		return out
+	}
+
+	plain := run(0)
+	interleaved := run(10)
+	if len(plain) != len(interleaved) {
+		t.Fatalf("snapshot lengths differ: %d vs %d", len(plain), len(interleaved))
+	}
+	for i := range plain {
+		if plain[i] != interleaved[i] {
+			t.Fatalf("point %d differs: %s vs %s", i, plain[i], interleaved[i])
+		}
+	}
+	// Back-to-back snapshots of the same streamer are identical too.
+	s, err := NewStreamer(p, w, opts, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range tr {
+		s.Push(pt)
+	}
+	a, b := s.Snapshot(), s.Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("repeat snapshot changed length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("repeat snapshot changed point %d", i)
+		}
+	}
+}
+
 func TestStreamerValidation(t *testing.T) {
 	opts := DefaultOptions(errm.SED, Online)
 	p := streamPolicy(t, opts)

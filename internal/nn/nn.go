@@ -140,6 +140,18 @@ func (n *Network) AddGrads(src []float64) {
 	checkLen("AddGrads input", len(src), off)
 }
 
+// GradNorm returns the L2 norm of the accumulated gradient across every
+// parameter — the trainer's per-batch divergence telemetry.
+func (n *Network) GradNorm() float64 {
+	var sum float64
+	for _, p := range n.Params() {
+		for _, g := range p.Grad {
+			sum += g * g
+		}
+	}
+	return math.Sqrt(sum)
+}
+
 // FlattenParams copies every parameter value into dst (resliced from
 // dst[:0], so a buffer with enough capacity is reused allocation-free) and
 // returns it. Order matches SetParams and FlattenGrads.

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// The hot-path contract: one uncontended atomic op per event, zero
+// allocations. These benches are part of scripts/check.sh's smoke pass
+// (make bench-obs runs them fully).
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeAdd(b *testing.B) {
+	g := NewRegistry().Gauge("bench_gauge", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "bench", DefLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench_par_seconds", "bench", DefLatencyBuckets)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.003)
+		}
+	})
+}
+
+func BenchmarkWriteText(b *testing.B) {
+	r := NewRegistry()
+	for _, route := range []string{"/v1/simplify", "/v1/stats", "/v1/stream"} {
+		r.Counter("req_total", "requests", L("route", route)).Add(10)
+		r.Histogram("lat_seconds", "latency", DefLatencyBuckets, L("route", route)).Observe(0.01)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the repo's standard slog logger: text (human) or JSON
+// (machine) handler on w at the given level, with source locations off
+// (the component attribute identifies the origin; file:line is noise in
+// a five-binary repo).
+func NewLogger(w io.Writer, level slog.Level, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}
+
+// CommandLogger is the setup every cmd/* binary shares: a logger on w
+// tagged with the command name, Debug level when verbose, JSON when
+// jsonFormat. Commands pass os.Stderr so stdout stays reserved for data.
+func CommandLogger(w io.Writer, command string, verbose, jsonFormat bool) *slog.Logger {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	return NewLogger(w, level, jsonFormat).With("component", command)
+}

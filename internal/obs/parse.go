@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label set and
+// the value. Histogram series come back under their rendered names
+// (name_bucket with an le label, name_sum, name_count).
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseText parses the Prometheus text exposition format produced by
+// WriteText (and by any conforming exporter): # comment lines are
+// skipped, every other non-blank line must be name[{labels}] value.
+// Timestamps (a third field) are accepted and ignored. The parser exists
+// so tests can round-trip the encoder and so the scrape smoke check in
+// scripts/check.sh has something honest to validate against; it is not a
+// full PromQL-grade parser.
+func ParseText(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out []Sample
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", ln, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want value [timestamp] after %q, got %q", s.Name, rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block at the start of rest into into,
+// returning the index just past the closing brace.
+func parseLabels(rest string, into map[string]string) (int, error) {
+	i := 1 // past '{'
+	for {
+		for i < len(rest) && (rest[i] == ',' || rest[i] == ' ') {
+			i++
+		}
+		if i < len(rest) && rest[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(rest[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("unterminated label block in %q", rest)
+		}
+		key := rest[i : i+eq]
+		if !validName(key) {
+			return 0, fmt.Errorf("invalid label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(rest) || rest[i] != '"' {
+			return 0, fmt.Errorf("label %s: want quoted value", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				return 0, fmt.Errorf("label %s: unterminated value", key)
+			}
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return 0, fmt.Errorf("label %s: dangling escape", key)
+				}
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("label %s: bad escape \\%c", key, rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		into[key] = val.String()
+	}
+}
+
+// Find returns the value of the first sample matching name and every
+// given label (extra labels on the sample are ignored), and whether one
+// was found. A test convenience.
+func Find(samples []Sample, name string, labels map[string]string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	bounds []float64          // histogram bucket bounds
+	series map[string]*series // canonical label string -> series
+}
+
+// series is one (name, labels) time series.
+type series struct {
+	labels []Label // sorted by key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry owns a set of metric families and renders them in the
+// Prometheus text exposition format. Registration (Counter/Gauge/
+// Histogram) is idempotent: asking for the same name and label set twice
+// returns the same instance, so packages can declare their metrics in
+// var blocks without coordination. Asking for an existing name with a
+// different type or bucket layout panics — that is a programming error,
+// not a runtime condition.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that the library packages
+// (core, rl, server) register their metrics in. Commands expose or dump
+// this one.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter series for name+labels, creating it (and
+// its family) on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.getOrCreate(name, help, counterKind, nil, labels)
+	return s.c
+}
+
+// Gauge returns the gauge series for name+labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.getOrCreate(name, help, gaugeKind, nil, labels)
+	return s.g
+}
+
+// Histogram returns the histogram series for name+labels with the given
+// bucket bounds (strictly increasing; +Inf is implicit). All series of
+// one family must share the same bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not strictly increasing at %d", name, i))
+		}
+	}
+	s := r.getOrCreate(name, help, histogramKind, bounds, labels)
+	return s.h
+}
+
+func (r *Registry) getOrCreate(name, help string, k kind, bounds []float64, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %s", l.Key, name))
+		}
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	key := labelKey(sorted)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, series: make(map[string]*series)}
+		if k == histogramKind {
+			f.bounds = append([]float64(nil), bounds...)
+		}
+		r.families[name] = f
+	} else {
+		if f.kind != k {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s, was %s", name, k, f.kind))
+		}
+		if k == histogramKind && !equalBounds(f.bounds, bounds) {
+			panic(fmt.Sprintf("obs: histogram %s re-registered with different buckets", name))
+		}
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: sorted}
+		switch k {
+		case counterKind:
+			s.c = &Counter{}
+		case gaugeKind:
+			s.g = &Gauge{}
+		case histogramKind:
+			s.h = newHistogram(f.bounds)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	return h
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey builds the canonical series key from sorted labels.
+func labelKey(sorted []Label) string {
+	if len(sorted) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// validName checks the Prometheus metric/label name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

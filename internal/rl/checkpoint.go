@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"rlts/internal/nn"
 	"rlts/internal/storage"
@@ -218,7 +219,14 @@ func (g *engine) writeCheckpoint(path string, epoch, next int, res *TrainResult)
 		BNInited:     bnInited(g.master),
 		Adam:         g.adam.State(),
 	}
-	return WriteCheckpointFile(path, ck)
+	start := time.Now()
+	if err := WriteCheckpointFile(path, ck); err != nil {
+		return err
+	}
+	met := trainMetrics()
+	met.checkpointSeconds.Observe(time.Since(start).Seconds())
+	met.checkpoints.Inc()
+	return nil
 }
 
 // restore initializes the engine and result from a checkpoint. The engine

@@ -42,6 +42,9 @@ func (h *TrainHealth) Ok() bool {
 }
 
 func (h *TrainHealth) note(batch int, kind, detail string) {
+	if c := trainMetrics().guardTrips[kind]; c != nil {
+		c.Inc()
+	}
 	switch kind {
 	case HealthRolloutSkip:
 		h.RolloutSkips++

@@ -3,11 +3,13 @@ package rl
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rlts/internal/nn"
 )
@@ -35,6 +37,11 @@ type TrainConfig struct {
 	Entropy  float64
 	Log      io.Writer // optional progress sink (nil = silent)
 	LogEvery int       // log every n trajectories (0 = never)
+	// Logger, when non-nil, receives a structured progress record every
+	// LogEvery trajectories (alongside whatever Log gets): epoch, position,
+	// rewards, last merged gradient norm and guard-trip counts. Metrics
+	// themselves always flow into the obs default registry regardless.
+	Logger *slog.Logger
 	// Checkpoint, when non-empty, is a file path that periodically receives
 	// an atomically-written training checkpoint (policy, best snapshot,
 	// optimizer moments, RNG position, batch counter, health report).
@@ -243,9 +250,19 @@ func trainLoop(p *Policy, envs []Env, cfg TrainConfig, ck *Checkpoint) (*TrainRe
 					return nil, err
 				}
 			}
-			if cfg.Log != nil && cfg.LogEvery > 0 && (ti+1)%cfg.LogEvery == 0 {
-				fmt.Fprintf(cfg.Log, "rl: epoch %d, trajectory %d/%d, best reward %.4f, last %.4f\n",
-					epoch+1, ti+1, len(envs), res.BestReward, res.FinalReward)
+			if cfg.LogEvery > 0 && (ti+1)%cfg.LogEvery == 0 {
+				if cfg.Log != nil {
+					fmt.Fprintf(cfg.Log, "rl: epoch %d, trajectory %d/%d, best reward %.4f, last %.4f\n",
+						epoch+1, ti+1, len(envs), res.BestReward, res.FinalReward)
+				}
+				if cfg.Logger != nil {
+					cfg.Logger.Info("training progress",
+						"epoch", epoch+1, "trajectory", ti+1, "of", len(envs),
+						"batch", eng.batch,
+						"best_reward", res.BestReward, "last_reward", res.FinalReward,
+						"grad_norm", trainMetrics().gradNorm.Value(),
+						"guard_trips", res.Health.RolloutSkips+res.Health.GradSkips+res.Health.Rollbacks)
+				}
 			}
 		}
 	}
@@ -276,6 +293,11 @@ type engine struct {
 	epSeq   uint64      // episodes started so far; seeds per-episode RNGs
 	batch   int         // global 1-based batch counter (survives resume)
 
+	// workerNanos[i] accumulates worker i's rollout busy time within the
+	// current batch (each worker writes only its own slot, so the parallel
+	// phase stays race-free); drained into the obs histogram per batch.
+	workerNanos []int64
+
 	// Divergence-guard scratch: the parameter and optimizer state saved
 	// immediately before each Adam step, restored if the step produced
 	// non-finite weights (buffers reused every batch).
@@ -288,6 +310,7 @@ type engine struct {
 // workspace), a reseedable RNG and, during the rollout phase, a cloned
 // environment.
 type trainWorker struct {
+	id     int // index into engine.workerNanos
 	policy *Policy
 	rng    *rand.Rand
 	env    Env
@@ -316,8 +339,10 @@ func newEngine(p *Policy, cfg TrainConfig) *engine {
 		nw = 1
 	}
 	eng.workers = make([]*trainWorker, nw)
+	eng.workerNanos = make([]int64, nw)
 	for i := range eng.workers {
 		eng.workers[i] = &trainWorker{
+			id:     i,
 			policy: p.Clone(),
 			rng:    rand.New(rand.NewSource(0)),
 		}
@@ -422,10 +447,22 @@ func (g *engine) runBatch(env Env, res *TrainResult) {
 
 	seqBase := g.epSeq
 	g.epSeq += uint64(numEp)
+	for i := range g.workerNanos {
+		g.workerNanos[i] = 0
+	}
 	g.parallel(rolloutWorkers, numEp, func(w *trainWorker, e int) {
+		start := time.Now()
 		w.rng.Seed(deriveSeed(g.cfg.Seed, seqBase+uint64(e)))
 		g.epFail[e] = safeRollout(g.eps[e], w.env, w.policy, w.rng)
+		g.workerNanos[w.id] += time.Since(start).Nanoseconds()
 	})
+	met := trainMetrics()
+	for _, ns := range g.workerNanos {
+		if ns > 0 {
+			met.rolloutWorkerSeconds.Observe(float64(ns) / 1e9)
+		}
+	}
+	met.batches.Inc()
 
 	// Guard: a non-finite state or reward (NaN coordinates slipping through
 	// a caller, a diverged policy pushing the environment into overflow)
@@ -448,7 +485,10 @@ func (g *engine) runBatch(env Env, res *TrainResult) {
 		nonEmpty++
 		res.EpisodesRun++
 		res.StepsRun += ep.Len()
+		met.episodes.Inc()
+		met.steps.Add(uint64(ep.Len()))
 		total := ep.TotalReward()
+		met.episodeReward.Observe(total)
 		res.FinalReward = total
 		if total > batchBest {
 			batchBest = total
@@ -519,6 +559,7 @@ func (g *engine) runBatch(env Env, res *TrainResult) {
 		res.Health.note(g.batch, HealthGradSkip, "non-finite merged gradient")
 		return
 	}
+	met.gradNorm.Set(g.master.Net.GradNorm())
 	// Guard: snapshot the weights and optimizer moments, step, and verify.
 	// If the step still produced non-finite weights, roll back to the last
 	// good policy rather than continuing from a corrupted one.

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"time"
+
+	"rlts/internal/obs"
 )
 
 // Default hardening parameters; see Config.
@@ -17,6 +20,8 @@ const (
 	DefaultRequestTimeout = 30 * time.Second
 	DefaultMaxPoints      = 1_000_000
 	DefaultDrainTimeout   = 30 * time.Second
+	DefaultStreamTTL      = 5 * time.Minute
+	DefaultMaxStreams     = 1024
 )
 
 // Config tunes the service's protective middleware. The zero value means
@@ -37,6 +42,27 @@ type Config struct {
 	MaxPoints int
 	// ErrorLog receives one line per recovered panic (default os.Stderr).
 	ErrorLog io.Writer
+	// Logger, when non-nil, receives structured request logs: one Debug
+	// record per request (route, status, latency, request id) and Warn/
+	// Error records for sheds, deadline expiries and recovered panics,
+	// each carrying the request id for cross-referencing.
+	Logger *slog.Logger
+	// Metrics is the registry the middleware and the streaming session
+	// manager record into, and the one GET /metrics serves. nil means
+	// obs.Default().
+	Metrics *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (bypassing
+	// shedding and deadlines, like /healthz). Off by default: profiling
+	// endpoints leak operational detail and cost CPU, so exposure is an
+	// explicit operator decision.
+	EnablePprof bool
+	// StreamTTL evicts streaming sessions idle for longer than this.
+	// 0 means DefaultStreamTTL, negative disables eviction.
+	StreamTTL time.Duration
+	// MaxStreams caps concurrently open streaming sessions; creates beyond
+	// it are rejected with 429. 0 means DefaultMaxStreams, negative
+	// disables the cap.
+	MaxStreams int
 }
 
 func (c Config) normalized() Config {
@@ -52,40 +78,98 @@ func (c Config) normalized() Config {
 	if c.ErrorLog == nil {
 		c.ErrorLog = os.Stderr
 	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
+	}
+	if c.StreamTTL == 0 {
+		c.StreamTTL = DefaultStreamTTL
+	}
+	if c.MaxStreams == 0 {
+		c.MaxStreams = DefaultMaxStreams
+	}
 	return c
 }
 
-// Harden wraps h with the service's protective middleware, outermost
-// first:
+// bypassesHardening reports whether a path skips load shedding and the
+// per-request deadline: liveness probes and scrapes must answer while the
+// service is saturated, and pprof profiles legitimately run for longer
+// than any request deadline.
+func bypassesHardening(path string) bool {
+	return path == "/healthz" || path == "/metrics" ||
+		len(path) >= len("/debug/pprof") && path[:len("/debug/pprof")] == "/debug/pprof"
+}
+
+// Harden wraps h with the service's protective and observability
+// middleware, outermost first:
 //
+//   - request identity: X-Request-ID is taken from the request (generated
+//     when absent or unusable), echoed on the response and attached to
+//     every metric-adjacent log record;
+//   - instrumentation: per-route request counters and latency histograms,
+//     an in-flight gauge, shed/panic/deadline counters — all in
+//     cfg.Metrics — plus structured request logs on cfg.Logger;
 //   - panic recovery: a panicking handler becomes a 500 JSON error and a
 //     log line, never a dead process (http.ErrAbortHandler is re-raised,
 //     as the net/http contract requires);
 //   - load shedding: at most MaxConcurrent requests run at once, the rest
 //     get an immediate 429 with a Retry-After hint;
-//   - deadline: the request context expires after RequestTimeout.
+//   - deadline: the request context expires after RequestTimeout. 504
+//     responses carry Retry-After too (enforced by the status recorder,
+//     whichever layer writes the 504).
 //
-// GET /healthz bypasses shedding and deadline so liveness probes still
-// answer while the service is saturated. Harden is exported separately
-// from Server so tests (and other services) can wrap arbitrary handlers.
+// GET /healthz, GET /metrics and /debug/pprof bypass shedding and
+// deadline so probes, scrapes and profiles still answer while the service
+// is saturated. Harden is exported separately from Server so tests (and
+// other services) can wrap arbitrary handlers.
 func Harden(h http.Handler, cfg Config) http.Handler {
 	cfg = cfg.normalized()
+	met := newMetricsSet(cfg.Metrics)
 	inner := h
 	var sem chan struct{}
 	if cfg.MaxConcurrent > 0 {
 		sem = make(chan struct{}, cfg.MaxConcurrent)
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+		w.Header().Set("X-Request-ID", rid)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid))
+
+		route := routeLabel(r.URL.Path)
+		sr := &statusRecorder{ResponseWriter: w}
+		w = sr
+		start := time.Now()
 		defer func() {
-			if rec := recover(); rec != nil {
+			rec := recover()
+			if rec != nil {
 				if rec == http.ErrAbortHandler {
 					panic(rec)
 				}
+				met.panics.Inc()
 				fmt.Fprintf(cfg.ErrorLog, "server: panic serving %s %s: %v\n", r.Method, r.URL.Path, rec)
+				if cfg.Logger != nil {
+					cfg.Logger.Error("panic recovered", "request_id", rid,
+						"method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(rec))
+				}
 				httpError(w, http.StatusInternalServerError, codeInternal, "internal server error")
 			}
+			status := sr.Status()
+			if status == http.StatusGatewayTimeout {
+				met.deadlines.Inc()
+			}
+			elapsed := time.Since(start).Seconds()
+			met.request(route, fmt.Sprintf("%d", status)).Inc()
+			met.latency(route).Observe(elapsed)
+			if cfg.Logger != nil {
+				level := slog.LevelDebug
+				if status >= 500 {
+					level = slog.LevelWarn
+				}
+				cfg.Logger.Log(r.Context(), level, "request",
+					"request_id", rid, "method", r.Method, "route", route,
+					"status", status, "seconds", elapsed)
+			}
 		}()
-		if r.URL.Path == "/healthz" {
+		if bypassesHardening(r.URL.Path) {
 			inner.ServeHTTP(w, r)
 			return
 		}
@@ -94,11 +178,17 @@ func Harden(h http.Handler, cfg Config) http.Handler {
 			case sem <- struct{}{}:
 				defer func() { <-sem }()
 			default:
-				w.Header().Set("Retry-After", "1")
+				met.shed.Inc()
+				if cfg.Logger != nil {
+					cfg.Logger.Warn("request shed", "request_id", rid,
+						"method", r.Method, "route", route)
+				}
 				httpError(w, http.StatusTooManyRequests, codeOverloaded, "server at capacity, retry later")
 				return
 			}
 		}
+		met.inflight.Inc()
+		defer met.inflight.Dec()
 		if cfg.RequestTimeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), cfg.RequestTimeout)
 			defer cancel()

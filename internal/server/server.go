@@ -7,10 +7,18 @@
 //
 // Endpoints (JSON in/out):
 //
-//	GET  /healthz               liveness probe
-//	GET  /v1/algorithms         available algorithm names
-//	POST /v1/simplify           simplify one trajectory
-//	POST /v1/stats              Table-I-style statistics for a trajectory
+//	GET    /healthz               liveness probe
+//	GET    /metrics               Prometheus text-format metrics scrape
+//	GET    /v1/algorithms         available algorithm names
+//	POST   /v1/simplify           simplify one trajectory
+//	POST   /v1/stats              Table-I-style statistics for a trajectory
+//	POST   /v1/stream             open a streaming session (see stream.go)
+//	POST   /v1/stream/{id}/points push points into a session
+//	GET    /v1/stream/{id}        snapshot a session's simplification
+//	DELETE /v1/stream/{id}        close a session
+//
+// With Config.EnablePprof, net/http/pprof is additionally mounted under
+// /debug/pprof/.
 //
 // A simplify request:
 //
@@ -37,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 
@@ -74,6 +83,7 @@ type Server struct {
 	mux      *http.ServeMux
 	cfg      Config
 	policies map[string]*core.Trained // lower-case name -> policy
+	streams  *streamManager
 }
 
 // New creates a server with the given trained policies registered under
@@ -94,17 +104,34 @@ func NewWith(policies []*core.Trained, cfg Config) *Server {
 		key := strings.ToLower(p.Opts.Name() + "/" + p.Opts.Measure.String())
 		s.policies[key] = p
 	}
+	s.streams = newStreamManager(s.policies, s.cfg)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.Handle("/metrics", s.cfg.Metrics.Handler())
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("/v1/simplify", s.handleSimplify)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/stream", s.handleStreamCreate)
+	s.mux.HandleFunc("/v1/stream/{id}", s.handleStreamSession)
+	s.mux.HandleFunc("/v1/stream/{id}/points", s.handleStreamPush)
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
 // Handler returns the http.Handler for the service, wrapped in the
-// hardening middleware (panic recovery, load shedding, per-request
-// deadlines).
+// hardening and instrumentation middleware (request ids, metrics, panic
+// recovery, load shedding, per-request deadlines).
 func (s *Server) Handler() http.Handler { return Harden(s.mux, s.cfg) }
+
+// Close releases background resources (the streaming session janitor).
+// The HTTP side needs no teardown; Close exists so long-lived embedders
+// and tests do not leak the eviction goroutine.
+func (s *Server) Close() { s.streams.stop() }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
@@ -240,6 +267,7 @@ func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 		Of:        len(t),
 		Error:     errm.Error(m, t, kept),
 	}
+	core.ObserveError(m, resp.Error)
 	for _, ix := range kept {
 		p := t[ix]
 		resp.Points = append(resp.Points, [3]float64{p.X, p.Y, p.T})

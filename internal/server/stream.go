@@ -1,0 +1,359 @@
+package server
+
+// Streaming session API: the HTTP face of core.Streamer, the paper's
+// online mode. A session owns one streamer; clients create it with an
+// algorithm, measure and buffer budget W, push points as their sensor
+// produces them, and snapshot the current simplification at any time.
+// Sessions are evicted after sitting idle for Config.StreamTTL.
+//
+//	POST   /v1/stream             create  {"algorithm","measure","w","sample","seed"}
+//	POST   /v1/stream/{id}/points push    {"points": [[x,y,t], ...]}
+//	GET    /v1/stream/{id}        snapshot
+//	DELETE /v1/stream/{id}        close
+//
+// Pushed points are validated at this layer with the same traj rules as
+// the batch endpoints: finite coordinates and strictly increasing
+// timestamps, checked against the session's last accepted point, so a
+// duplicate timestamp across two pushes is rejected just like one within
+// a single push.
+
+import (
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"rlts/internal/core"
+	"rlts/internal/errm"
+	"rlts/internal/geo"
+	"rlts/internal/obs"
+	"rlts/internal/traj"
+)
+
+// Stream-specific error codes.
+const (
+	codeStreamNotFound = "stream_not_found"
+	codeTooManyStreams = "too_many_streams"
+	codeNotStreamable  = "not_streamable"
+)
+
+// streamSession is one live streaming simplification. The mutex
+// serializes streamer access: core.Streamer is single-goroutine by
+// design, and interleaved pushes from concurrent requests would be
+// order-dependent anyway.
+type streamSession struct {
+	id   string
+	algo string
+
+	mu         sync.Mutex
+	str        *core.Streamer
+	w          int
+	last       geo.Point // last accepted point, for cross-push validation
+	hasLast    bool
+	lastActive time.Time
+}
+
+// streamManager owns every session, enforces the session cap and runs
+// TTL eviction.
+type streamManager struct {
+	policies map[string]*core.Trained
+	ttl      time.Duration
+	max      int
+	maxPush  int // per-push point cap (Config.MaxPoints)
+
+	mu       sync.Mutex
+	sessions map[string]*streamSession
+
+	active  *obs.Gauge
+	created *obs.Counter
+	closed  *obs.Counter
+	evicted *obs.Counter
+
+	stopJanitor chan struct{}
+	stopOnce    sync.Once
+}
+
+func newStreamManager(policies map[string]*core.Trained, cfg Config) *streamManager {
+	reg := cfg.Metrics
+	m := &streamManager{
+		policies: policies,
+		ttl:      cfg.StreamTTL,
+		max:      cfg.MaxStreams,
+		maxPush:  cfg.MaxPoints,
+		sessions: make(map[string]*streamSession),
+		active: reg.Gauge("rlts_stream_sessions_active",
+			"Streaming sessions currently open"),
+		created: reg.Counter("rlts_stream_sessions_created_total",
+			"Streaming sessions ever created"),
+		closed: reg.Counter("rlts_stream_sessions_closed_total",
+			"Streaming sessions closed by the client"),
+		evicted: reg.Counter("rlts_stream_sessions_evicted_total",
+			"Streaming sessions evicted after sitting idle past the TTL"),
+		stopJanitor: make(chan struct{}),
+	}
+	if m.ttl > 0 {
+		go m.janitor()
+	}
+	return m
+}
+
+// janitor periodically sweeps idle sessions. The tick is a quarter of the
+// TTL (floored so tests with millisecond TTLs still converge quickly),
+// which bounds over-retention at 1.25×TTL.
+func (m *streamManager) janitor() {
+	tick := m.ttl / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopJanitor:
+			return
+		case now := <-t.C:
+			m.evictIdle(now)
+		}
+	}
+}
+
+func (m *streamManager) evictIdle(now time.Time) {
+	m.mu.Lock()
+	var idle []*streamSession
+	for id, s := range m.sessions {
+		s.mu.Lock()
+		expired := now.Sub(s.lastActive) > m.ttl
+		s.mu.Unlock()
+		if expired {
+			delete(m.sessions, id)
+			idle = append(idle, s)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range idle {
+		m.evicted.Inc()
+		m.active.Dec()
+		s.mu.Lock()
+		s.str.FlushMetrics()
+		s.mu.Unlock()
+	}
+}
+
+// stop terminates the janitor goroutine (Server.Close).
+func (m *streamManager) stop() {
+	m.stopOnce.Do(func() { close(m.stopJanitor) })
+}
+
+type streamCreateRequest struct {
+	Algorithm string `json:"algorithm"`
+	Measure   string `json:"measure"`
+	W         int    `json:"w"`
+	// Sample turns on stochastic action selection (the paper's online-mode
+	// default is sampling; the API defaults to greedy so snapshots are
+	// deterministic functions of the pushed points).
+	Sample bool  `json:"sample"`
+	Seed   int64 `json:"seed"`
+}
+
+func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only")
+		return
+	}
+	var req streamCreateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	m := errm.SED
+	if req.Measure != "" {
+		var err error
+		m, err = errm.Parse(req.Measure)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, codeInvalidMeasure, "%v", err)
+			return
+		}
+	}
+	algo := strings.ToLower(req.Algorithm)
+	if algo == "" {
+		algo = "rlts"
+	}
+	p, ok := s.policies[strings.ToLower(algo+"/"+m.String())]
+	if !ok {
+		httpError(w, http.StatusBadRequest, codeUnknownAlgorithm,
+			"no policy registered for %q with measure %s", algo, m)
+		return
+	}
+	if p.Opts.Variant != core.Online {
+		httpError(w, http.StatusBadRequest, codeNotStreamable,
+			"%s is a batch variant; only the online variant can stream", p.Opts.Name())
+		return
+	}
+	if req.W < 2 {
+		httpError(w, http.StatusBadRequest, codeInvalidBudget, "w must be >= 2, got %d", req.W)
+		return
+	}
+	if s.cfg.MaxPoints > 0 && req.W > s.cfg.MaxPoints {
+		httpError(w, http.StatusBadRequest, codeInvalidBudget,
+			"w = %d exceeds the %d-point limit", req.W, s.cfg.MaxPoints)
+		return
+	}
+	var rng *rand.Rand
+	if req.Sample {
+		rng = rand.New(rand.NewSource(req.Seed))
+	}
+	str, err := core.NewStreamer(p.Policy, req.W, p.Opts, req.Sample, rng)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	sess := &streamSession{
+		id:         newRequestID(),
+		algo:       p.Opts.Name(),
+		str:        str,
+		w:          req.W,
+		lastActive: time.Now(),
+	}
+	sm := s.streams
+	sm.mu.Lock()
+	if sm.max > 0 && len(sm.sessions) >= sm.max {
+		sm.mu.Unlock()
+		httpError(w, http.StatusTooManyRequests, codeTooManyStreams,
+			"%d streaming sessions already open", sm.max)
+		return
+	}
+	sm.sessions[sess.id] = sess
+	sm.mu.Unlock()
+	sm.created.Inc()
+	sm.active.Inc()
+	writeJSON(w, map[string]interface{}{
+		"id":        sess.id,
+		"algorithm": sess.algo,
+		"measure":   m.String(),
+		"w":         req.W,
+	})
+}
+
+// lookupStream fetches a session by the {id} path value, answering 404
+// itself when the session does not exist (never created, closed, or
+// evicted).
+func (s *Server) lookupStream(w http.ResponseWriter, r *http.Request) *streamSession {
+	id := r.PathValue("id")
+	s.streams.mu.Lock()
+	sess := s.streams.sessions[id]
+	s.streams.mu.Unlock()
+	if sess == nil {
+		httpError(w, http.StatusNotFound, codeStreamNotFound, "no streaming session %q", id)
+		return nil
+	}
+	return sess
+}
+
+func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only")
+		return
+	}
+	sess := s.lookupStream(w, r)
+	if sess == nil {
+		return
+	}
+	var req struct {
+		Points [][3]float64 `json:"points"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		httpError(w, http.StatusBadRequest, codeInvalidPoints, "no points in push")
+		return
+	}
+	if s.streams.maxPush > 0 && len(req.Points) > s.streams.maxPush {
+		httpError(w, http.StatusRequestEntityTooLarge, codeTooManyPoints,
+			"push has %d points, limit is %d", len(req.Points), s.streams.maxPush)
+		return
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	// Validate the batch with the shared traj rules, prefixed with the
+	// session's last accepted point so cross-push ordering (including
+	// duplicate timestamps at the boundary) is enforced identically.
+	check := make(traj.Trajectory, 0, len(req.Points)+1)
+	if sess.hasLast {
+		check = append(check, sess.last)
+	}
+	for _, p := range req.Points {
+		check = append(check, geo.Point{X: p[0], Y: p[1], T: p[2]})
+	}
+	if err := check.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, codeInvalidPoints, "invalid points: %v", err)
+		return
+	}
+	batch := check
+	if sess.hasLast {
+		batch = check[1:]
+	}
+	for _, pt := range batch {
+		sess.str.Push(pt)
+	}
+	sess.last, sess.hasLast = batch[len(batch)-1], true
+	sess.lastActive = time.Now()
+	writeJSON(w, map[string]interface{}{
+		"seen":     sess.str.Seen(),
+		"buffered": sess.str.BufferSize(),
+	})
+}
+
+func (s *Server) handleStreamSession(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.handleStreamSnapshot(w, r)
+	case http.MethodDelete:
+		s.handleStreamClose(w, r)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET or DELETE only")
+	}
+}
+
+func (s *Server) handleStreamSnapshot(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupStream(w, r)
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	snap := sess.str.Snapshot()
+	seen := sess.str.Seen()
+	sess.lastActive = time.Now()
+	sess.mu.Unlock()
+	pts := make([][3]float64, len(snap))
+	for i, p := range snap {
+		pts[i] = [3]float64{p.X, p.Y, p.T}
+	}
+	writeJSON(w, map[string]interface{}{
+		"algorithm": sess.algo,
+		"w":         sess.w,
+		"seen":      seen,
+		"kept":      len(pts),
+		"points":    pts,
+	})
+}
+
+func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.streams.mu.Lock()
+	sess := s.streams.sessions[id]
+	delete(s.streams.sessions, id)
+	s.streams.mu.Unlock()
+	if sess == nil {
+		httpError(w, http.StatusNotFound, codeStreamNotFound, "no streaming session %q", id)
+		return
+	}
+	s.streams.closed.Inc()
+	s.streams.active.Dec()
+	sess.mu.Lock()
+	sess.str.FlushMetrics()
+	seen := sess.str.Seen()
+	sess.mu.Unlock()
+	writeJSON(w, map[string]interface{}{"closed": true, "seen": seen})
+}

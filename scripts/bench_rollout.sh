@@ -7,13 +7,18 @@
 set -e
 cd "$(dirname "$0")/.."
 
-echo "== TrainParallel (GOMAXPROCS=$(go env GOMAXPROCS 2>/dev/null || nproc)) =="
+# Provenance: the baseline file records both values so a reader can tell
+# whether the workers sweep was measured on real parallel hardware.
+NUM_CPU=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+MAXPROCS="${GOMAXPROCS:-$NUM_CPU}"
+echo "== provenance: num_cpu=$NUM_CPU gomaxprocs=$MAXPROCS =="
+echo "== TrainParallel =="
 go test . -run xxx -bench BenchmarkTrainParallel -benchmem -benchtime 3x
 echo "== Hot-path allocation benches =="
 go test ./internal/rl/ -run xxx -bench 'Rollout|ProbsInto' -benchmem
 go test ./internal/core/ -run xxx -bench BenchmarkBuildState -benchmem
 go test ./internal/buffer/ -run xxx -bench BenchmarkKLowest -benchmem
 echo
-echo "Update BENCH_rollout.json with the numbers above and the machine's"
-echo "CPU count; on a single-core runner the workers sweep is flat by"
-echo "construction."
+echo "Update BENCH_rollout.json with the numbers above, including the"
+echo "machine block's num_cpu=$NUM_CPU and gomaxprocs=$MAXPROCS; on a"
+echo "single-core runner the workers sweep is flat by construction."

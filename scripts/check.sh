@@ -1,8 +1,9 @@
 #!/bin/sh
 # Full verification gate: vet, build, the test suite under the race
 # detector (which exercises the parallel trainer and the parallel
-# evaluation harness), and a short fuzz smoke pass over every fuzz
-# target. This is what `make check` runs.
+# evaluation harness), a benchmark smoke pass over the metrics hot paths,
+# a live /metrics scrape against a real server process, and a short fuzz
+# smoke pass over every fuzz target. This is what `make check` runs.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -12,6 +13,45 @@ echo "== go build =="
 go build ./...
 echo "== go test -race =="
 go test -race ./...
+
+# One iteration per obs benchmark: catches compile errors and gross
+# regressions (a panicking Observe, an encoder that hangs) without
+# turning the gate into a benchmark run.
+echo "== obs bench smoke (1 iteration each) =="
+go test ./internal/obs -run '^$' -bench . -benchtime 1x
+
+# Live scrape check: boot the real server, curl /metrics, and make sure
+# the exposition output mentions our metric namespace. Guards the whole
+# wiring chain (registry -> handler -> route), not just the encoder.
+echo "== /metrics scrape check =="
+SCRAPE_PORT="${SCRAPE_PORT:-18321}"
+go build -o /tmp/rlts-server-check ./cmd/rlts-server
+/tmp/rlts-server-check -addr "127.0.0.1:$SCRAPE_PORT" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+# Wait for readiness on /healthz; that request also seeds the request
+# counter so the scrape below has a series to find (the middleware records
+# a request after its response is written, so a first scrape never shows
+# itself).
+ok=""
+for i in 1 2 3 4 5 6 7 8 9 10; do
+    if curl -fsS "http://127.0.0.1:$SCRAPE_PORT/healthz" >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    sleep 0.5
+done
+[ -n "$ok" ] || { echo "scrape check: server never answered on :$SCRAPE_PORT"; exit 1; }
+curl -fsS "http://127.0.0.1:$SCRAPE_PORT/metrics" >/tmp/rlts-scrape.txt
+grep -q '^rlts_http_requests_total' /tmp/rlts-scrape.txt || {
+    echo "scrape check: no rlts_http_requests_total in /metrics output"
+    cat /tmp/rlts-scrape.txt
+    exit 1
+}
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+trap - EXIT
+echo "scrape check: OK"
 
 # FUZZTIME can be raised for a deeper run; 10s per target keeps the gate
 # fast while still shaking out regressions in the parsers and handlers.
