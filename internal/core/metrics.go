@@ -32,43 +32,63 @@ type coreMetricsSet struct {
 }
 
 var (
-	coreMetricsOnce sync.Once
-	coreMetricsVal  *coreMetricsSet
+	coreMetricsMu    sync.Mutex
+	coreMetricsByReg map[*obs.Registry]*coreMetricsSet
 )
 
-func coreMetrics() *coreMetricsSet {
-	coreMetricsOnce.Do(func() {
-		r := obs.Default()
-		errs := make(map[errm.Measure]*obs.Histogram, len(errm.Measures))
-		for _, ms := range errm.Measures {
-			errs[ms] = r.Histogram("rlts_simplify_error",
-				"Simplification error of served results, by measure",
-				obs.ExpBuckets(1e-4, 4, 14), obs.L("measure", ms.String()))
-		}
-		coreMetricsVal = &coreMetricsSet{
-			simplifyRuns: r.Counter("rlts_simplify_runs_total",
-				"Completed Simplify/SimplifyCtx invocations"),
-			simplifySteps: r.Counter("rlts_simplify_steps_total",
-				"MDP steps executed by Simplify/SimplifyCtx"),
-			streamPoints: r.Counter("rlts_stream_points_total",
-				"Points pushed through core.Streamer instances"),
-			streamSkipped: r.Counter("rlts_stream_skipped_points_total",
-				"Points discarded unseen by streaming skip actions"),
-			streamBufferFill: r.Histogram("rlts_stream_buffer_fill_ratio",
-				"Buffer occupancy as a fraction of W, observed at snapshot time",
-				obs.LinearBuckets(0.1, 0.1, 10)),
-			simplifyError: errs,
-		}
-	})
-	return coreMetricsVal
+// coreMetricsFor returns the core metric set registered in reg, building
+// it on first use. Most callers record into obs.Default() via
+// coreMetrics(); the HTTP layer passes its own registry so serving-path
+// series land where GET /metrics scrapes them (see Streamer.UseRegistry
+// and ObserveErrorIn).
+func coreMetricsFor(reg *obs.Registry) *coreMetricsSet {
+	coreMetricsMu.Lock()
+	defer coreMetricsMu.Unlock()
+	if s, ok := coreMetricsByReg[reg]; ok {
+		return s
+	}
+	errs := make(map[errm.Measure]*obs.Histogram, len(errm.Measures))
+	for _, ms := range errm.Measures {
+		errs[ms] = reg.Histogram("rlts_simplify_error",
+			"Simplification error of served results, by measure",
+			obs.ExpBuckets(1e-4, 4, 14), obs.L("measure", ms.String()))
+	}
+	s := &coreMetricsSet{
+		simplifyRuns: reg.Counter("rlts_simplify_runs_total",
+			"Completed Simplify/SimplifyCtx invocations"),
+		simplifySteps: reg.Counter("rlts_simplify_steps_total",
+			"MDP steps executed by Simplify/SimplifyCtx"),
+		streamPoints: reg.Counter("rlts_stream_points_total",
+			"Points pushed through core.Streamer instances"),
+		streamSkipped: reg.Counter("rlts_stream_skipped_points_total",
+			"Points discarded unseen by streaming skip actions"),
+		streamBufferFill: reg.Histogram("rlts_stream_buffer_fill_ratio",
+			"Buffer occupancy as a fraction of W, observed at snapshot time",
+			obs.LinearBuckets(0.1, 0.1, 10)),
+		simplifyError: errs,
+	}
+	if coreMetricsByReg == nil {
+		coreMetricsByReg = make(map[*obs.Registry]*coreMetricsSet)
+	}
+	coreMetricsByReg[reg] = s
+	return s
 }
 
+func coreMetrics() *coreMetricsSet { return coreMetricsFor(obs.Default()) }
+
 // ObserveError records a computed simplification error into the
-// per-measure distribution. Callers that already paid for errm.Error
-// (the HTTP handlers, the evaluation harness) feed it; the simplify hot
-// path itself never computes errors.
+// per-measure distribution of the process-wide registry. Callers that
+// already paid for errm.Error (the evaluation harness) feed it; the
+// simplify hot path itself never computes errors.
 func ObserveError(m errm.Measure, v float64) {
-	if h, ok := coreMetrics().simplifyError[m]; ok {
+	ObserveErrorIn(obs.Default(), m, v)
+}
+
+// ObserveErrorIn is ObserveError recording into an explicit registry —
+// the HTTP handlers use it so the distribution appears in the registry
+// their /metrics endpoint serves.
+func ObserveErrorIn(reg *obs.Registry, m errm.Measure, v float64) {
+	if h, ok := coreMetricsFor(reg).simplifyError[m]; ok {
 		h.Observe(v)
 	}
 }

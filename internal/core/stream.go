@@ -7,6 +7,7 @@ import (
 	"rlts/internal/buffer"
 	"rlts/internal/errm"
 	"rlts/internal/geo"
+	"rlts/internal/obs"
 	"rlts/internal/rl"
 )
 
@@ -38,7 +39,8 @@ type Streamer struct {
 	hasLast bool
 
 	// Unflushed metric deltas: plain ints so Push costs nothing extra;
-	// FlushMetrics publishes them as two atomic adds.
+	// FlushMetrics publishes them as two atomic adds into met.
+	met              *coreMetricsSet
 	unflushedPushed  int
 	unflushedSkipped int
 }
@@ -69,7 +71,16 @@ func NewStreamer(p *rl.Policy, w int, opts Options, sample bool, r *rand.Rand) (
 		sample: sample,
 		r:      r,
 		buf:    buffer.New(w + 1),
+		met:    coreMetrics(),
 	}, nil
+}
+
+// UseRegistry redirects this streamer's metrics (points pushed/skipped,
+// buffer fill) from obs.Default() into reg. The HTTP session manager
+// calls it right after NewStreamer so session metrics land in the
+// registry its /metrics endpoint serves (Config.Metrics).
+func (s *Streamer) UseRegistry(reg *obs.Registry) {
+	s.met = coreMetricsFor(reg)
 }
 
 // Push feeds the next point of the stream.
@@ -170,7 +181,7 @@ func (s *Streamer) BufferSize() int { return s.buf.Size() }
 func (s *Streamer) Snapshot() []geo.Point {
 	s.FlushMetrics()
 	if s.w > 0 {
-		coreMetrics().streamBufferFill.Observe(float64(s.buf.Size()) / float64(s.w))
+		s.met.streamBufferFill.Observe(float64(s.buf.Size()) / float64(s.w))
 	}
 	pts := s.buf.Points()
 	if s.hasLast && (len(pts) == 0 || !pts[len(pts)-1].Equal(s.last)) {
@@ -185,11 +196,11 @@ func (s *Streamer) Snapshot() []geo.Point {
 // manager's TTL eviction) call it so no points go unaccounted.
 func (s *Streamer) FlushMetrics() {
 	if s.unflushedPushed > 0 {
-		coreMetrics().streamPoints.Add(uint64(s.unflushedPushed))
+		s.met.streamPoints.Add(uint64(s.unflushedPushed))
 		s.unflushedPushed = 0
 	}
 	if s.unflushedSkipped > 0 {
-		coreMetrics().streamSkipped.Add(uint64(s.unflushedSkipped))
+		s.met.streamSkipped.Add(uint64(s.unflushedSkipped))
 		s.unflushedSkipped = 0
 	}
 }

@@ -19,10 +19,34 @@ const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
 // (histograms). Families and series render in sorted order, so two
 // scrapes of identical state are byte-identical.
 func (r *Registry) WriteText(w io.Writer) error {
+	// Snapshot every family's series under the read lock before touching
+	// the writer: getOrCreate inserts into family.series under the write
+	// lock (the server middleware registers a new per-route/code series
+	// lazily on live traffic), so iterating the live maps after dropping
+	// the lock would be a concurrent map iteration and write — a fatal
+	// runtime panic. Snapshotting also keeps slow scrape clients from
+	// blocking registration. Series pointers are stable and their values
+	// atomic, so encoding outside the lock is safe.
+	type famSnapshot struct {
+		name   string
+		help   string
+		kind   kind
+		series []*series // sorted by canonical label key
+	}
 	r.mu.RLock()
-	fams := make([]*family, 0, len(r.families))
+	fams := make([]famSnapshot, 0, len(r.families))
 	for _, f := range r.families {
-		fams = append(fams, f)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fs := famSnapshot{name: f.name, help: f.help, kind: f.kind,
+			series: make([]*series, len(keys))}
+		for i, k := range keys {
+			fs.series[i] = f.series[k]
+		}
+		fams = append(fams, fs)
 	}
 	r.mu.RUnlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
@@ -33,13 +57,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 			f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
 			return err
 		}
-		keys := make([]string, 0, len(f.series))
-		for k := range f.series {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			s := f.series[k]
+		for _, s := range f.series {
 			var err error
 			switch f.kind {
 			case counterKind:

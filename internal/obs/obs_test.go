@@ -2,8 +2,11 @@ package obs
 
 import (
 	"bytes"
+	"io"
 	"math"
 	"net/http/httptest"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -236,5 +239,48 @@ func TestNewLogger(t *testing.T) {
 	}
 	if CommandLogger(&buf, "x", true, false).Enabled(nil, -4) == false {
 		t.Error("verbose logger does not enable debug")
+	}
+}
+
+// TestWriteTextConcurrentRegistration reproduces the scrape-vs-lazy-
+// registration race: the server middleware creates a new labeled series
+// on live traffic while /metrics encodes, so WriteText must never iterate
+// the live series maps outside the registry lock (doing so is a fatal
+// "concurrent map iteration and map write" runtime throw, not a
+// recoverable panic).
+func TestWriteTextConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "req", L("code", "200")) // family exists up front
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			r.Counter("req_total", "req", L("code", strconv.Itoa(i))).Inc()
+			r.Gauge("g_"+strconv.Itoa(i%64), "g").Set(1)
+			runtime.Gosched() // force interleaving even on GOMAXPROCS=1
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		if err := r.WriteText(io.Discard); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		runtime.Gosched()
+	}
+	wg.Wait()
+}
+
+// TestLabelKeyAmbiguity: two distinct label sets whose raw values join to
+// the same string must still be distinct series.
+func TestLabelKeyAmbiguity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("amb_total", "amb", L("a", "1"), L("b", "2"))
+	b := r.Counter("amb_total", "amb", L("a", `1",b="2`))
+	if a == b {
+		t.Fatal("distinct label sets aliased to one series")
+	}
+	a.Inc()
+	if b.Value() != 0 {
+		t.Errorf("aliased counter: b = %d after incrementing a", b.Value())
 	}
 }

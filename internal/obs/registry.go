@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -169,7 +170,10 @@ func equalBounds(a, b []float64) bool {
 	return true
 }
 
-// labelKey builds the canonical series key from sorted labels.
+// labelKey builds the canonical series key from sorted labels. Values are
+// quoted so the key is unambiguous: joining raw values would canonicalize
+// distinct label sets like {a: `1",b="2`} and {a: "1", b: "2"} to the same
+// key and silently alias their series.
 func labelKey(sorted []Label) string {
 	if len(sorted) == 0 {
 		return ""
@@ -181,7 +185,7 @@ func labelKey(sorted []Label) string {
 		}
 		b.WriteString(l.Key)
 		b.WriteByte('=')
-		b.WriteString(l.Value)
+		b.WriteString(strconv.Quote(l.Value))
 	}
 	return b.String()
 }

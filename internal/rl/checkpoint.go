@@ -248,6 +248,18 @@ func (g *engine) restore(ck *Checkpoint, res *TrainResult) error {
 	res.StepsRun = ck.StepsRun
 	res.Health = ck.Health
 	res.Best = ck.Best
+	// Seed the cumulative counters with the pre-crash totals: a fresh
+	// process starts them at zero, and without this a resumed run's
+	// metrics (and rlts-train's closing summary, which reads them) would
+	// cover only the post-resume episodes while res.EpisodesRun stayed
+	// cumulative.
+	met := trainMetrics()
+	met.episodes.Add(uint64(ck.EpisodesRun))
+	met.steps.Add(uint64(ck.StepsRun))
+	met.batches.Add(uint64(ck.Batch))
+	met.guardTrips[HealthRolloutSkip].Add(uint64(ck.Health.RolloutSkips))
+	met.guardTrips[HealthGradSkip].Add(uint64(ck.Health.GradSkips))
+	met.guardTrips[HealthRollback].Add(uint64(ck.Health.Rollbacks))
 	return nil
 }
 

@@ -57,17 +57,8 @@ func TestMetricsScrape(t *testing.T) {
 		t.Errorf("request_seconds_bucket{+Inf} = %g, %v", v, ok)
 	}
 	// The per-measure error distribution recorded by the simplify handler
-	// lives in the process-global registry (core registers there), so it
-	// is asserted via obs.Default().
-	var buf bytes.Buffer
-	if err := obs.Default().WriteText(&buf); err != nil {
-		t.Fatal(err)
-	}
-	global, err := obs.ParseText(bytes.NewReader(buf.Bytes()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if v, ok := obs.Find(global, "rlts_simplify_error_count",
+	// goes to the server's own registry, so the scrape carries it.
+	if v, ok := obs.Find(samples, "rlts_simplify_error_count",
 		map[string]string{"measure": "SED"}); !ok || v < 1 {
 		t.Errorf("rlts_simplify_error_count{SED} = %g, %v", v, ok)
 	}

@@ -47,9 +47,14 @@ type Config struct {
 	// Error records for sheds, deadline expiries and recovered panics,
 	// each carrying the request id for cross-referencing.
 	Logger *slog.Logger
-	// Metrics is the registry the middleware and the streaming session
-	// manager record into, and the one GET /metrics serves. nil means
-	// obs.Default().
+	// Metrics is the registry GET /metrics serves. Everything the serving
+	// path records lands here: the middleware's request/shed/panic/deadline
+	// series, the streaming session manager's lifecycle series, per-session
+	// streamer point counters, and the rlts_simplify_error distributions.
+	// Process-wide library metrics (rlts_simplify_runs/steps and the
+	// rlts_train_* family) always register in obs.Default(), which is also
+	// the default here when nil — so with a nil Metrics one scrape sees
+	// everything.
 	Metrics *obs.Registry
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (bypassing
 	// shedding and deadlines, like /healthz). Off by default: profiling

@@ -267,7 +267,7 @@ func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 		Of:        len(t),
 		Error:     errm.Error(m, t, kept),
 	}
-	core.ObserveError(m, resp.Error)
+	core.ObserveErrorIn(s.cfg.Metrics, m, resp.Error)
 	for _, ix := range kept {
 		p := t[ix]
 		resp.Points = append(resp.Points, [3]float64{p.X, p.Y, p.T})

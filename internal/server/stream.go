@@ -52,6 +52,12 @@ type streamSession struct {
 	last       geo.Point // last accepted point, for cross-push validation
 	hasLast    bool
 	lastActive time.Time
+	// closed is set (under mu) when the session is deleted by the client
+	// or the TTL janitor. A handler that fetched the session from the map
+	// before removal checks it after acquiring mu, so a push can never
+	// land in — and report success against — a dead streamer whose
+	// metrics were already flushed.
+	closed bool
 }
 
 // streamManager owns every session, enforces the session cap and runs
@@ -123,12 +129,14 @@ func (m *streamManager) evictIdle(now time.Time) {
 	var idle []*streamSession
 	for id, s := range m.sessions {
 		s.mu.Lock()
-		expired := now.Sub(s.lastActive) > m.ttl
-		s.mu.Unlock()
-		if expired {
+		if now.Sub(s.lastActive) > m.ttl {
+			// Marking closed under both locks means no handler can slip a
+			// push in between the map removal and the final flush.
+			s.closed = true
 			delete(m.sessions, id)
 			idle = append(idle, s)
 		}
+		s.mu.Unlock()
 	}
 	m.mu.Unlock()
 	for _, s := range idle {
@@ -207,6 +215,9 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
+	// Session metrics belong in the registry GET /metrics serves, not the
+	// process-wide default.
+	str.UseRegistry(s.cfg.Metrics)
 	sess := &streamSession{
 		id:         newRequestID(),
 		algo:       p.Opts.Name(),
@@ -276,6 +287,10 @@ func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if sess.closed {
+		httpError(w, http.StatusNotFound, codeStreamNotFound, "no streaming session %q", sess.id)
+		return
+	}
 	// Validate the batch with the shared traj rules, prefixed with the
 	// session's last accepted point so cross-push ordering (including
 	// duplicate timestamps at the boundary) is enforced identically.
@@ -322,6 +337,11 @@ func (s *Server) handleStreamSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		httpError(w, http.StatusNotFound, codeStreamNotFound, "no streaming session %q", sess.id)
+		return
+	}
 	snap := sess.str.Snapshot()
 	seen := sess.str.Seen()
 	sess.lastActive = time.Now()
@@ -352,6 +372,7 @@ func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request) {
 	s.streams.closed.Inc()
 	s.streams.active.Dec()
 	sess.mu.Lock()
+	sess.closed = true
 	sess.str.FlushMetrics()
 	seen := sess.str.Seen()
 	sess.mu.Unlock()

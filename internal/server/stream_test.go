@@ -354,3 +354,69 @@ func getRaw(t *testing.T, url string) (*http.Response, []byte) {
 	}
 	return resp, raw
 }
+
+// TestStreamPushToEvictedSession models the eviction race: a push handler
+// that fetched the session from the map before the janitor removed it
+// must not be able to push into the dead streamer and report success —
+// the closed flag, set under the session mutex during eviction, rejects
+// it with 404.
+func TestStreamPushToEvictedSession(t *testing.T) {
+	// Negative TTL disables the janitor goroutine; evictIdle is driven by
+	// hand and treats every session as expired.
+	ts, sv, reg := streamServer(t, Config{StreamTTL: -1})
+	id := createStream(t, ts.URL, map[string]interface{}{"w": 5})
+
+	sm := sv.streams
+	sm.mu.Lock()
+	sess := sm.sessions[id]
+	sm.mu.Unlock()
+	if sess == nil {
+		t.Fatal("session not in the manager map")
+	}
+	sm.evictIdle(time.Now())
+	sess.mu.Lock()
+	closed := sess.closed
+	sess.mu.Unlock()
+	if !closed {
+		t.Fatal("evicted session not marked closed")
+	}
+	if got := reg.Counter("rlts_stream_sessions_evicted_total", "").Value(); got != 1 {
+		t.Errorf("evicted counter = %d, want 1", got)
+	}
+
+	// Model the racing handler's view — it looked the session up before
+	// eviction — by restoring the stale map entry, then push and snapshot.
+	sm.mu.Lock()
+	sm.sessions[id] = sess
+	sm.mu.Unlock()
+	resp, raw := post(t, ts.URL+"/v1/stream/"+id+"/points",
+		map[string]interface{}{"points": [][3]float64{{0, 0, 0}, {1, 0, 1}}})
+	if resp.StatusCode != 404 {
+		t.Errorf("push to evicted session: status %d, want 404: %s", resp.StatusCode, raw)
+	}
+	if snapResp, _ := getSnapshot(t, ts.URL, id); snapResp.StatusCode != 404 {
+		t.Errorf("snapshot of evicted session: status %d, want 404", snapResp.StatusCode)
+	}
+	sm.mu.Lock()
+	delete(sm.sessions, id)
+	sm.mu.Unlock()
+}
+
+// TestStreamMetricsInServerRegistry: per-session streamer counters are
+// recorded in Config.Metrics (what GET /metrics serves), not silently in
+// the process-wide default registry.
+func TestStreamMetricsInServerRegistry(t *testing.T) {
+	ts, _, reg := streamServer(t, Config{})
+	id := createStream(t, ts.URL, map[string]interface{}{"w": 5})
+	pts := [][3]float64{{0, 0, 0}, {1, 0, 1}, {2, 0, 2}, {3, 0, 3}}
+	if resp, raw := post(t, ts.URL+"/v1/stream/"+id+"/points",
+		map[string]interface{}{"points": pts}); resp.StatusCode != 200 {
+		t.Fatalf("push: status %d: %s", resp.StatusCode, raw)
+	}
+	if resp := deleteStream(t, ts.URL, id); resp.StatusCode != 200 {
+		t.Fatalf("close: status %d", resp.StatusCode)
+	}
+	if got := reg.Counter("rlts_stream_points_total", "").Value(); got != uint64(len(pts)) {
+		t.Errorf("rlts_stream_points_total in server registry = %d, want %d", got, len(pts))
+	}
+}
