@@ -1,9 +1,17 @@
 GO ?= go
 
-.PHONY: test check bench-rollout bench-obs
+.PHONY: test check check-diff bench-rollout bench-obs
 
 test:
 	$(GO) test ./...
+
+# Differential + metamorphic correctness harness (internal/check): tracker
+# vs recompute, streamer vs slice simplify, DP min-size vs brute force,
+# rigid-motion invariance, adversarial-geometry totality. Deterministic
+# seeds, race-enabled. CHECK_SCALE multiplies the iteration budget for
+# deeper soak runs (default 1; the gate uses 4).
+check-diff:
+	CHECK_SCALE=$${CHECK_SCALE:-4} $(GO) test -race -count=1 ./internal/check
 
 # Full gate: vet + build + race-detector test run (exercises the parallel
 # trainer and evaluation paths) + a fuzz smoke pass over every fuzz

@@ -1,0 +1,253 @@
+package check
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+// scaled multiplies an iteration budget by the CHECK_SCALE environment
+// knob so `make check-diff` (and soak runs) can deepen the harness without
+// touching code. CHECK_SCALE is a positive multiplier; unset or invalid
+// means 1. The result is never below the base so a fractional scale cannot
+// disable a test.
+func scaled(base int) int {
+	v := os.Getenv("CHECK_SCALE")
+	if v == "" {
+		return base
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f <= 1 {
+		return base
+	}
+	n := int(float64(base) * f)
+	if n < base {
+		return base
+	}
+	return n
+}
+
+// A generator deterministically produces one adversarial family of valid
+// trajectories (finite points, strictly increasing timestamps) from a
+// seeded rand. Every generator keeps the true values of all four measures
+// representable in float64, so the harness can assert strict finiteness.
+type generator struct {
+	name string
+	gen  func(r *rand.Rand, n int) traj.Trajectory
+}
+
+// generators is the full adversarial family set.
+var generators = []generator{
+	{"random-walk", genRandomWalk},
+	{"collinear", genCollinear},
+	{"stationary", genStationary},
+	{"near-dup-times", genNearDupTimes},
+	{"zigzag", genZigzag},
+	{"extreme", genExtreme},
+	{"huge", genHuge},
+}
+
+// moderateGenerators is the subset used by tolerance-based comparisons
+// (reference-formula differentials, metamorphic invariance, brute-force
+// min-size). It excludes two families whose relations hold exactly in real
+// arithmetic but are ill-conditioned in float64, where a tolerance check
+// measures conditioning rather than correctness:
+//
+//   - extreme: rotating 1e307 coordinates loses all low bits;
+//   - near-dup-times: 1e-12 time deltas turn speeds into ~1e12 quantities
+//     whose differences amplify last-ulp distance discrepancies by 12
+//     orders of magnitude.
+//
+// Both families still go through every exact-equality oracle (tracker,
+// streamer) and the adversarial finiteness sweep.
+var moderateGenerators = []generator{
+	{"random-walk", genRandomWalk},
+	{"collinear", genCollinear},
+	{"stationary", genStationary},
+	{"zigzag", genZigzag},
+}
+
+// genRandomWalk is the baseline family: nothing degenerate, everything in
+// a comfortable numeric range.
+func genRandomWalk(r *rand.Rand, n int) traj.Trajectory {
+	t := make(traj.Trajectory, 0, n)
+	x, y, tm := r.Float64()*100, r.Float64()*100, r.Float64()*10
+	for i := 0; i < n; i++ {
+		t = append(t, geo.Pt(x, y, tm))
+		x += r.NormFloat64() * 5
+		y += r.NormFloat64() * 5
+		tm += 0.1 + r.Float64()*4
+	}
+	return t
+}
+
+// genCollinear places every point exactly on one line (small-integer
+// coordinates, so collinearity is exact in float64), with uneven spacing
+// and occasional exact revisits of the previous x. Perpendicular errors
+// are exactly zero; direction is constant or exactly reversed.
+func genCollinear(r *rand.Rand, n int) traj.Trajectory {
+	t := make(traj.Trajectory, 0, n)
+	x := float64(r.Intn(10))
+	tm := 0.0
+	for i := 0; i < n; i++ {
+		t = append(t, geo.Pt(x, 2*x+1, tm))
+		if r.Intn(4) == 0 {
+			x -= float64(r.Intn(3)) // backtrack along the line
+		} else {
+			x += float64(1 + r.Intn(4))
+		}
+		tm += 0.5 + r.Float64()
+	}
+	return t
+}
+
+// genStationary produces long zero-length runs (the object sits still while
+// time advances) broken by occasional jumps: zero-length anchor segments,
+// zero-length motion segments, and drops to exactly repeated locations.
+func genStationary(r *rand.Rand, n int) traj.Trajectory {
+	t := make(traj.Trajectory, 0, n)
+	x, y, tm := float64(r.Intn(50)), float64(r.Intn(50)), 0.0
+	for i := 0; i < n; i++ {
+		t = append(t, geo.Pt(x, y, tm))
+		tm += 0.25 + r.Float64()
+		if r.Intn(5) == 0 { // move only rarely
+			x += float64(r.Intn(7) - 3)
+			y += float64(r.Intn(7) - 3)
+		}
+	}
+	return t
+}
+
+// genNearDupTimes interleaves normal sampling intervals with intervals of
+// 1e-12 time units: timestamps remain strictly increasing (base times stay
+// small enough that 1e-12 exceeds one ulp) but interpolation parameters and
+// speeds become enormous-denominator computations.
+func genNearDupTimes(r *rand.Rand, n int) traj.Trajectory {
+	t := make(traj.Trajectory, 0, n)
+	x, y, tm := r.Float64()*40, r.Float64()*40, 1.0
+	for i := 0; i < n; i++ {
+		t = append(t, geo.Pt(x, y, tm))
+		x += r.NormFloat64()
+		y += r.NormFloat64()
+		if r.Intn(3) == 0 {
+			tm += 1e-12 // near-duplicate timestamp, still > one ulp here
+		} else {
+			tm += 0.5 + r.Float64()
+		}
+	}
+	return t
+}
+
+// genZigzag alternates large spikes around a slow drift: every interior
+// point is far from its anchor segment, keeping link errors large and
+// heaps/trackers busy, and direction flips by ~pi each step.
+func genZigzag(r *rand.Rand, n int) traj.Trajectory {
+	t := make(traj.Trajectory, 0, n)
+	tm := 0.0
+	for i := 0; i < n; i++ {
+		side := float64(1 - 2*(i%2))
+		t = append(t, geo.Pt(float64(i)*2, side*(50+r.Float64()*100), tm))
+		tm += 0.2 + r.Float64()
+	}
+	return t
+}
+
+// extremeMag is the largest coordinate magnitude the extreme generator
+// emits. It is chosen so every true measure value stays representable:
+// the worst pairwise displacement is the diagonal sqrt(2)*2*extremeMag
+// ~ 1.70e308 < MaxFloat64, and with time deltas >= 2 every speed stays
+// finite too. Squared lengths and naive coordinate differences still
+// overflow, which is exactly the slow-path territory being probed.
+const extremeMag = 6e307
+
+// genExtreme jumps between far corners of the representable plane mixed
+// with moderate points. Intermediate products (dx*dx, b-a at opposite
+// extremes) overflow float64 while all true distances/speeds remain
+// representable, so any NaN or Inf is a harness catch, not saturation.
+func genExtreme(r *rand.Rand, n int) traj.Trajectory {
+	corner := func() float64 {
+		switch r.Intn(4) {
+		case 0:
+			return extremeMag
+		case 1:
+			return -extremeMag
+		case 2:
+			return 1e160 * (r.Float64() - 0.5)
+		default:
+			return r.NormFloat64() * 100
+		}
+	}
+	t := make(traj.Trajectory, 0, n)
+	tm := 0.0
+	for i := 0; i < n; i++ {
+		t = append(t, geo.Pt(corner(), corner(), tm))
+		tm += 2 + 3*r.Float64()
+	}
+	return t
+}
+
+// genHuge emits only astronomical magnitudes, |coord| in [1e250, 6e306]:
+// every squared coordinate difference overflows float64, so the overflow
+// slow paths run on literally every primitive call. Scaling this family by
+// 2^-511 — an exact operation on every float64 — lands it entirely in
+// fast-path range, which is the basis of the scaling differential in
+// metamorphic_test.go: finiteness assertions alone cannot tell a correct
+// slow-path value from a garbage-but-finite one.
+func genHuge(r *rand.Rand, n int) traj.Trajectory {
+	coord := func() float64 {
+		exp := 250 + r.Intn(57)
+		v := (1 + r.Float64()*5) * math.Pow(10, float64(exp))
+		if r.Intn(2) == 0 {
+			return -v
+		}
+		return v
+	}
+	t := make(traj.Trajectory, 0, n)
+	tm := 0.0
+	for i := 0; i < n; i++ {
+		t = append(t, geo.Pt(coord(), coord(), tm))
+		tm += 2 + 3*r.Float64()
+	}
+	return t
+}
+
+// Rigid spatio-temporal motions for the metamorphic pillar.
+
+func translate(t traj.Trajectory, dx, dy float64) traj.Trajectory {
+	out := make(traj.Trajectory, len(t))
+	for i, p := range t {
+		out[i] = geo.Pt(p.X+dx, p.Y+dy, p.T)
+	}
+	return out
+}
+
+func rotate(t traj.Trajectory, theta float64) traj.Trajectory {
+	s, c := math.Sin(theta), math.Cos(theta)
+	out := make(traj.Trajectory, len(t))
+	for i, p := range t {
+		out[i] = geo.Pt(c*p.X-s*p.Y, s*p.X+c*p.Y, p.T)
+	}
+	return out
+}
+
+func timeShift(t traj.Trajectory, dt float64) traj.Trajectory {
+	out := make(traj.Trajectory, len(t))
+	for i, p := range t {
+		out[i] = geo.Pt(p.X, p.Y, p.T+dt)
+	}
+	return out
+}
+
+// closeRel reports |a-b| <= tol relative to max(1, |a|, |b|): absolute
+// near zero, relative elsewhere.
+func closeRel(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}

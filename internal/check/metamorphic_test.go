@@ -1,0 +1,216 @@
+package check
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rlts/internal/errm"
+	"rlts/internal/geo"
+	"rlts/internal/minsize"
+	"rlts/internal/traj"
+)
+
+// Metamorphic invariants: all four measures are defined through distances,
+// headings differences and speeds, every one of which is preserved by a
+// rigid motion of the plane and by a uniform shift of the clock. So for
+// any trajectory and any simplification, the trajectory error must be
+// invariant under translation, rotation (DAD's headings rotate together,
+// so their difference — the equivariant quantity — is unchanged) and time
+// shift. Asserted at 1e-9 relative tolerance on moderate-magnitude inputs,
+// where double-precision rotation noise sits around 1e-12.
+
+const rigidTol = 1e-9
+
+type transform struct {
+	name  string
+	apply func(traj.Trajectory) traj.Trajectory
+}
+
+var rigidMotions = []transform{
+	{"translate", func(t traj.Trajectory) traj.Trajectory { return translate(t, 123.456, -987.125) }},
+	{"rotate-third", func(t traj.Trajectory) traj.Trajectory { return rotate(t, 2*math.Pi/3) }},
+	{"rotate-quarter", func(t traj.Trajectory) traj.Trajectory { return rotate(t, math.Pi/2) }},
+	{"rotate-small", func(t traj.Trajectory) traj.Trajectory { return rotate(t, 0.137) }},
+	// Time shifts are powers of two: adding 2^k to a timestamp rounds by
+	// at most ulp(2^k), and keeping the shift near the timestamp range
+	// keeps segment durations (whose relative error the speeds amplify)
+	// intact to ~1e-13. A calendar-size shift like 86400 would perturb
+	// sub-second durations by ~1e-10 relative — conditioning noise at the
+	// same order as the 1e-9 gate.
+	{"time-shift", func(t traj.Trajectory) traj.Trajectory { return timeShift(t, 512) }},
+	{"composed", func(t traj.Trajectory) traj.Trajectory {
+		return timeShift(rotate(translate(t, -55.5, 17.25), 1.0), -4096)
+	}},
+}
+
+// simplificationsOf yields a few interesting kept-index chains for t:
+// endpoints only, a greedy simplification at a mid-range bound, and a
+// random subsequence.
+func simplificationsOf(t *testing.T, tr traj.Trajectory, m errm.Measure, r *rand.Rand) [][]int {
+	t.Helper()
+	n := len(tr)
+	whole := errm.SegmentError(m, tr, 0, n-1)
+	sets := [][]int{{0, n - 1}}
+	if g, err := minsize.Greedy(tr, whole/4, m); err == nil {
+		sets = append(sets, g)
+	}
+	kept := []int{0}
+	for i := 1; i < n-1; i++ {
+		if r.Intn(3) != 0 {
+			kept = append(kept, i)
+		}
+	}
+	sets = append(sets, append(kept, n-1))
+	return sets
+}
+
+func TestErrorInvariantUnderRigidMotions(t *testing.T) {
+	for _, g := range moderateGenerators {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			rounds := scaled(6)
+			for round := 0; round < rounds; round++ {
+				r := rand.New(rand.NewSource(int64(8000 + round)))
+				tr := g.gen(r, 12+r.Intn(20))
+				for _, m := range errm.Measures {
+					for _, kept := range simplificationsOf(t, tr, m, r) {
+						base := errm.Error(m, tr, kept)
+						for _, tf := range rigidMotions {
+							got := errm.Error(m, tf.apply(tr), kept)
+							if !closeRel(got, base, rigidTol) {
+								t.Fatalf("%s %s round %d %s: error %v, original %v (kept %v)",
+									g.name, m, round, tf.name, got, base, kept)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPointErrorInvariantUnderRigidMotions(t *testing.T) {
+	// The invariance must hold at the primitive level too, for every
+	// anchor-span/point attribution — a coarser max could mask a broken
+	// primitive whose error never happens to be the maximum.
+	for _, g := range moderateGenerators {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			rounds := scaled(4)
+			for round := 0; round < rounds; round++ {
+				r := rand.New(rand.NewSource(int64(9000 + round)))
+				tr := g.gen(r, 7+r.Intn(6))
+				n := len(tr)
+				images := make([]traj.Trajectory, len(rigidMotions))
+				for ti, tf := range rigidMotions {
+					images[ti] = tf.apply(tr)
+				}
+				for _, m := range errm.Measures {
+					for a := 0; a < n-1; a++ {
+						for b := a + 1; b < n; b++ {
+							for i := a + 1; i < b; i++ {
+								base := errm.PointError(m, tr, a, i, b)
+								for ti, tf := range rigidMotions {
+									got := errm.PointError(m, images[ti], a, i, b)
+									if !closeRel(got, base, rigidTol) {
+										t.Fatalf("%s %s round %d %s: PointError(%d,%d,%d) %v, original %v",
+											g.name, m, round, tf.name, a, i, b, got, base)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestHugeCoordsMatchScaledReference(t *testing.T) {
+	// The scaling oracle for the overflow slow paths: multiplying every
+	// coordinate of the huge family by 2^-511 is exact (a power of two
+	// neither overflows nor loses mantissa bits in this range), and in
+	// real arithmetic SED/PED/SAD scale by exactly that factor while DAD
+	// is scale-invariant. The scaled trajectory computes entirely on the
+	// well-tested fast paths, so it is a trustworthy reference for the
+	// slow paths the original triggers on every call. This is the test
+	// that distinguishes a correct slow-path value from a finite-but-wrong
+	// one (e.g. a NaN laundered into 0 by a clamp).
+	//
+	// The tolerance model differs from the rigid-motion tests: a distance
+	// between coordinates of magnitude M is only determined to ~ulp(M) in
+	// float64, so when a point lies nearly on the anchor line the true
+	// PED/SED sits below the coordinates' rounding floor and both paths
+	// produce same-order noise that need not agree relatively. Distances
+	// and speeds are therefore compared absolutely against 1e-9 * M (seven
+	// orders above the 1e-16 floor, dozens below a laundering bug, which
+	// is off by the full coordinate magnitude); DAD, an O(1) angle, keeps
+	// an absolute 1e-9.
+	const scaleTol = 1e-9
+	const down = 0x1p-511
+	const up = 0x1p511
+	rounds := scaled(6)
+	for round := 0; round < rounds; round++ {
+		r := rand.New(rand.NewSource(int64(13000 + round)))
+		tr := genHuge(r, 8+r.Intn(8))
+		small := make(traj.Trajectory, len(tr))
+		mag := 1.0
+		for i, p := range tr {
+			small[i] = geo.Pt(p.X*down, p.Y*down, p.T)
+			mag = math.Max(mag, math.Max(math.Abs(p.X), math.Abs(p.Y)))
+		}
+		n := len(tr)
+		for _, m := range errm.Measures {
+			scale := mag
+			if m == errm.DAD {
+				scale = 1
+			}
+			for a := 0; a < n-1; a++ {
+				for b := a + 1; b < n; b++ {
+					for i := a + 1; i < b; i++ {
+						got := errm.PointError(m, tr, a, i, b)
+						want := errm.PointError(m, small, a, i, b)
+						if m != errm.DAD {
+							want *= up
+						}
+						if math.IsNaN(got) || math.Abs(got-want) > scaleTol*scale {
+							t.Fatalf("%s round %d: PointError(%d,%d,%d)=%v, scaled reference %v (scale %v)",
+								m, round, a, i, b, got, want, scale)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOnlineValueInvariantUnderRigidMotions(t *testing.T) {
+	// The online buffer-local value (Eq. 1) is built from the same
+	// primitives and must be invariant too; it feeds both state features
+	// and drop decisions, so a variance here would make learned policies
+	// frame-dependent.
+	for _, g := range moderateGenerators {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			rounds := scaled(4)
+			for round := 0; round < rounds; round++ {
+				r := rand.New(rand.NewSource(int64(10000 + round)))
+				tr := g.gen(r, 10+r.Intn(10))
+				for _, m := range errm.Measures {
+					for i := 1; i < len(tr)-1; i++ {
+						base := errm.OnlineValue(m, tr[i-1], tr[i], tr[i+1])
+						for _, tf := range rigidMotions {
+							img := tf.apply(tr)
+							got := errm.OnlineValue(m, img[i-1], img[i], img[i+1])
+							if !closeRel(got, base, rigidTol) {
+								t.Fatalf("%s %s round %d %s: OnlineValue at %d: %v, original %v",
+									g.name, m, round, tf.name, i, got, base)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

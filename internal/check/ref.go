@@ -1,0 +1,181 @@
+package check
+
+import (
+	"math"
+
+	"rlts/internal/errm"
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+// Independent reference implementations of the four measures, written
+// directly from the paper's definitions with deliberately different
+// arithmetic than internal/geo (Sqrt of a sum instead of Hypot, modular
+// angle folding instead of absolute-difference folding, no overflow fast
+// paths). They are only ever evaluated on moderate-magnitude inputs, where
+// they agree with production to ~1e-12 relative; the differential tests
+// compare at 1e-9.
+
+func refDist(ax, ay, bx, by float64) float64 {
+	dx, dy := bx-ax, by-ay
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// refSyncPos is the time-synchronized position on segment a-b at time tm,
+// clamped to the segment; a zero (or negative) duration collapses to a.
+func refSyncPos(a, b geo.Point, tm float64) (float64, float64) {
+	if b.T <= a.T {
+		return a.X, a.Y
+	}
+	u := (tm - a.T) / (b.T - a.T)
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return a.X + u*(b.X-a.X), a.Y + u*(b.Y-a.Y)
+}
+
+func refSED(a, b, p geo.Point) float64 {
+	x, y := refSyncPos(a, b, p.T)
+	return refDist(p.X, p.Y, x, y)
+}
+
+func refPED(a, b, p geo.Point) float64 {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	l2 := dx*dx + dy*dy
+	if l2 == 0 {
+		return refDist(p.X, p.Y, a.X, a.Y)
+	}
+	u := ((p.X-a.X)*dx + (p.Y-a.Y)*dy) / l2
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return refDist(p.X, p.Y, a.X+u*dx, a.Y+u*dy)
+}
+
+// refAngDiff folds a heading difference into [0, pi] by shifting into
+// (-pi, pi] first (a different route than geo.AngularDifference).
+func refAngDiff(a, b float64) float64 {
+	d := a - b
+	for d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	for d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return math.Abs(d)
+}
+
+func refDegenerate(a, b geo.Point) bool { return a.X == b.X && a.Y == b.Y }
+
+func refDAD(sa, sb, ma, mb geo.Point) float64 {
+	if refDegenerate(sa, sb) || refDegenerate(ma, mb) {
+		return 0
+	}
+	return refAngDiff(math.Atan2(sb.Y-sa.Y, sb.X-sa.X), math.Atan2(mb.Y-ma.Y, mb.X-ma.X))
+}
+
+func refSpeed(a, b geo.Point) float64 {
+	dt := b.T - a.T
+	if dt <= 0 {
+		return 0
+	}
+	return refDist(a.X, a.Y, b.X, b.Y) / dt
+}
+
+func refSAD(sa, sb, ma, mb geo.Point) float64 {
+	return math.Abs(refSpeed(sa, sb) - refSpeed(ma, mb))
+}
+
+// refPointError mirrors errm.PointError, including the motion-segment
+// attribution convention for DAD/SAD (the segment starting at i, or the
+// incoming segment for the anchor's last point).
+func refPointError(m errm.Measure, t traj.Trajectory, a, i, b int) float64 {
+	ma, mb := i, i+1
+	if i >= b {
+		ma, mb = i-1, i
+	}
+	switch m {
+	case errm.SED:
+		return refSED(t[a], t[b], t[i])
+	case errm.PED:
+		return refPED(t[a], t[b], t[i])
+	case errm.DAD:
+		return refDAD(t[a], t[b], t[ma], t[mb])
+	default:
+		return refSAD(t[a], t[b], t[ma], t[mb])
+	}
+}
+
+// refSegmentError mirrors errm.SegmentError: max over interior points for
+// SED/PED, max over covered motion segments for DAD/SAD.
+func refSegmentError(m errm.Measure, t traj.Trajectory, a, b int) float64 {
+	if b <= a+1 {
+		return 0
+	}
+	var worst float64
+	switch m {
+	case errm.SED, errm.PED:
+		for i := a + 1; i < b; i++ {
+			if d := refPointError(m, t, a, i, b); d > worst {
+				worst = d
+			}
+		}
+	default:
+		for i := a; i < b; i++ {
+			var d float64
+			if m == errm.DAD {
+				d = refDAD(t[a], t[b], t[i], t[i+1])
+			} else {
+				d = refSAD(t[a], t[b], t[i], t[i+1])
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// refError mirrors errm.Error: the max link error of a kept-index chain.
+func refError(m errm.Measure, t traj.Trajectory, kept []int) float64 {
+	var worst float64
+	for i := 1; i < len(kept); i++ {
+		if d := refSegmentError(m, t, kept[i-1], kept[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// bruteMinSize enumerates every subset of interior points (both endpoints
+// are always kept) and returns the size of the smallest simplification
+// whose error — judged by the reference formulas — is within bound.
+// Exponential, so only for len(t) <= ~14.
+func bruteMinSize(t traj.Trajectory, bound float64, m errm.Measure) int {
+	n := len(t)
+	interior := n - 2
+	best := n
+	for mask := 0; mask < 1<<uint(interior); mask++ {
+		kept := make([]int, 0, n)
+		kept = append(kept, 0)
+		for i := 0; i < interior; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				kept = append(kept, i+1)
+			}
+		}
+		kept = append(kept, n-1)
+		if len(kept) >= best {
+			continue
+		}
+		if refError(m, t, kept) <= bound {
+			best = len(kept)
+		}
+	}
+	return best
+}

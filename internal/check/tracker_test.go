@@ -1,0 +1,137 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"rlts/internal/errm"
+	"rlts/internal/traj"
+)
+
+// The Tracker maintains the trajectory error incrementally across
+// drop/extend operations (the RL reward substrate, Eq. 8). Its oracle is
+// the direct recomputation errm.Error over the same kept chain: both walk
+// the identical primitives, so agreement must be exact (bitwise), for
+// every adversarial family and after every single operation.
+
+func TestTrackerDropSequencesMatchRecompute(t *testing.T) {
+	for _, g := range generators {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			rounds := scaled(6)
+			for round := 0; round < rounds; round++ {
+				r := rand.New(rand.NewSource(int64(1000 + round)))
+				tr := g.gen(r, 12+r.Intn(30))
+				for _, m := range errm.Measures {
+					tk := errm.NewFullTracker(m, tr)
+					// Drop random interior points until only endpoints remain.
+					for len(tk.Kept()) > 2 {
+						kept := tk.Kept()
+						i := kept[1+r.Intn(len(kept)-2)]
+						got := tk.Drop(i)
+						want := errm.Error(m, tr, tk.Kept())
+						if got != want {
+							t.Fatalf("%s %s round %d: after Drop(%d) tracker=%v recompute=%v kept=%v",
+								g.name, m, round, i, got, want, tk.Kept())
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// maxLinkError recomputes a kept chain's error from scratch with the same
+// primitive the tracker uses. Unlike errm.Error it accepts a chain that
+// has not yet reached the end of the trajectory (a stream in progress).
+func maxLinkError(m errm.Measure, tr traj.Trajectory, kept []int) float64 {
+	var worst float64
+	for i := 1; i < len(kept); i++ {
+		if d := errm.SegmentError(m, tr, kept[i-1], kept[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestTrackerExtendSkipDropMatchesRecompute(t *testing.T) {
+	// Online-style mixed workload: extend with random skip gaps (as the
+	// skip actions produce) interleaved with interior drops, checking the
+	// tracker against full recomputation after every operation.
+	for _, g := range generators {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			rounds := scaled(6)
+			for round := 0; round < rounds; round++ {
+				r := rand.New(rand.NewSource(int64(2000 + round)))
+				tr := g.gen(r, 20+r.Intn(40))
+				for _, m := range errm.Measures {
+					tk := errm.NewTracker(m, tr)
+					tail := 0
+					for step := 0; ; step++ {
+						kept := tk.Kept()
+						canDrop := len(kept) > 2
+						canExtend := tail < len(tr)-1
+						if !canExtend && (!canDrop || step%2 == 0) {
+							break
+						}
+						if canExtend && (r.Intn(2) == 0 || !canDrop) {
+							gap := 1 + r.Intn(3) // skip up to 2 points
+							tail += gap
+							if tail > len(tr)-1 {
+								tail = len(tr) - 1
+							}
+							tk.ExtendTo(tail)
+						} else {
+							i := kept[1+r.Intn(len(kept)-2)]
+							tk.Drop(i)
+						}
+						got, want := tk.Err(), maxLinkError(m, tr, tk.Kept())
+						if got != want {
+							t.Fatalf("%s %s round %d step %d: tracker=%v recompute=%v kept=%v",
+								g.name, m, round, step, got, want, tk.Kept())
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMeasuresMatchReferenceFormulas(t *testing.T) {
+	// Differential check of the measure primitives themselves against the
+	// independently-coded reference formulas, over all anchor spans of
+	// moderate-magnitude adversarial trajectories.
+	const tol = 1e-9
+	for _, g := range moderateGenerators {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			rounds := scaled(8)
+			for round := 0; round < rounds; round++ {
+				r := rand.New(rand.NewSource(int64(3000 + round)))
+				tr := g.gen(r, 8+r.Intn(8))
+				n := len(tr)
+				for _, m := range errm.Measures {
+					for a := 0; a < n-1; a++ {
+						for b := a + 1; b < n; b++ {
+							got := errm.SegmentError(m, tr, a, b)
+							want := refSegmentError(m, tr, a, b)
+							if !closeRel(got, want, tol) {
+								t.Fatalf("%s %s round %d: SegmentError(%d,%d)=%v ref=%v",
+									g.name, m, round, a, b, got, want)
+							}
+							for i := a + 1; i < b; i++ {
+								got := errm.PointError(m, tr, a, i, b)
+								want := refPointError(m, tr, a, i, b)
+								if !closeRel(got, want, tol) {
+									t.Fatalf("%s %s round %d: PointError(%d,%d,%d)=%v ref=%v",
+										g.name, m, round, a, i, b, got, want)
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -83,8 +83,17 @@ func (s *Streamer) UseRegistry(reg *obs.Registry) {
 	s.met = coreMetricsFor(reg)
 }
 
-// Push feeds the next point of the stream.
+// Push feeds the next point of the stream. Observations that are not
+// finite or whose timestamp does not advance past the previous push are
+// discarded: the streamer's output contract (Snapshot is always a valid
+// trajectory — finite points, strictly increasing timestamps) cannot be
+// met otherwise, and for a GPS feed dropping a duplicate or out-of-order
+// fix is the only sensible interpretation. Callers that need rejections
+// surfaced (the HTTP session layer) validate before pushing.
 func (s *Streamer) Push(pt geo.Point) {
+	if !pt.IsFinite() || (s.hasLast && pt.T <= s.last.T) {
+		return
+	}
 	s.last, s.hasLast = pt, true
 	s.unflushedPushed++
 	defer func() { s.n++ }()
@@ -177,14 +186,18 @@ func (s *Streamer) BufferSize() int { return s.buf.Size() }
 
 // Snapshot returns the current simplified trajectory. If the most recent
 // pushed point is not buffered (it was skipped), it is appended so the
-// snapshot always ends at the latest observation.
+// snapshot always ends at the latest observation. The append is guarded
+// by timestamp, not point equality: the extra point is added only when
+// its timestamp strictly advances past the buffered tail, so a snapshot
+// of a stream with >= 2 accepted points is always a valid input to
+// traj.FromPoints (no duplicate timestamps, strictly increasing order).
 func (s *Streamer) Snapshot() []geo.Point {
 	s.FlushMetrics()
 	if s.w > 0 {
 		s.met.streamBufferFill.Observe(float64(s.buf.Size()) / float64(s.w))
 	}
 	pts := s.buf.Points()
-	if s.hasLast && (len(pts) == 0 || !pts[len(pts)-1].Equal(s.last)) {
+	if s.hasLast && (len(pts) == 0 || s.last.T > pts[len(pts)-1].T) {
 		pts = append(pts, s.last)
 	}
 	return pts

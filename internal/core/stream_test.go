@@ -1,11 +1,14 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
 	"rlts/internal/errm"
+	"rlts/internal/geo"
 	"rlts/internal/rl"
+	"rlts/internal/traj"
 )
 
 func streamPolicy(t *testing.T, opts Options) *rl.Policy {
@@ -198,6 +201,79 @@ func TestStreamerSnapshotDeterministicAndIdempotent(t *testing.T) {
 		if !a[i].Equal(b[i]) {
 			t.Fatalf("repeat snapshot changed point %d", i)
 		}
+	}
+}
+
+func TestStreamerSnapshotAfterSkipAtTail(t *testing.T) {
+	// Regression: when the final pushed point is swallowed by a skip
+	// action, Snapshot appends it after the buffered tail. That appended
+	// point must strictly advance the tail's timestamp so the snapshot
+	// stays a valid traj.FromPoints input. Seed 3 is known (and pinned by
+	// the assertion below) to end this stream with a skip.
+	opts := Options{Measure: errm.SED, Variant: Online, K: 3, J: 2}
+	p := streamPolicy(t, opts)
+	tr := testTraj(33, 60)
+	s, err := NewStreamer(p, 6, opts, true, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range tr {
+		s.Push(pt)
+	}
+	snap := s.Snapshot()
+	if len(snap) != s.BufferSize()+1 {
+		t.Fatalf("seed drifted: final point not skipped (buffer %d, snapshot %d)", s.BufferSize(), len(snap))
+	}
+	if !snap[len(snap)-1].Equal(tr[len(tr)-1]) {
+		t.Error("snapshot does not end at the skipped last observation")
+	}
+	raw := make([][3]float64, len(snap))
+	for i, q := range snap {
+		raw[i] = [3]float64{q.X, q.Y, q.T}
+	}
+	if _, err := traj.FromPoints(raw); err != nil {
+		t.Errorf("snapshot after tail skip is not a valid trajectory: %v", err)
+	}
+}
+
+func TestStreamerDiscardsInvalidObservations(t *testing.T) {
+	// Duplicate/backwards timestamps and non-finite points are dropped at
+	// Push so the snapshot contract (strictly increasing, finite) holds
+	// for any input sequence.
+	opts := DefaultOptions(errm.SED, Online)
+	p := streamPolicy(t, opts)
+	s, err := NewStreamer(p, 4, opts, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []geo.Point{
+		geo.Pt(0, 0, 0),
+		geo.Pt(1, 0, 1),
+		geo.Pt(5, 5, 1),                 // duplicate timestamp: dropped
+		geo.Pt(2, 0, 0.5),               // backwards timestamp: dropped
+		geo.Pt(math.NaN(), 0, 2),        // non-finite: dropped
+		geo.Pt(3, 0, math.Inf(1)),       // non-finite: dropped
+		geo.Pt(3, 0, 2),
+		geo.Pt(4, 0, 3),
+	}
+	for _, pt := range pts {
+		s.Push(pt)
+	}
+	if s.Seen() != 4 {
+		t.Errorf("Seen = %d, want 4 accepted points", s.Seen())
+	}
+	snap := s.Snapshot()
+	raw := make([][3]float64, len(snap))
+	for i, q := range snap {
+		raw[i] = [3]float64{q.X, q.Y, q.T}
+	}
+	got, err := traj.FromPoints(raw)
+	if err != nil {
+		t.Fatalf("snapshot invalid after garbage pushes: %v", err)
+	}
+	want := traj.Trajectory{geo.Pt(0, 0, 0), geo.Pt(1, 0, 1), geo.Pt(3, 0, 2), geo.Pt(4, 0, 3)}
+	if !got.Equal(want) {
+		t.Errorf("snapshot = %v, want %v", got, want)
 	}
 }
 

@@ -1,0 +1,141 @@
+package errm
+
+import (
+	"math"
+	"testing"
+
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+// Degenerate-geometry contracts of the package doc: every measure returns
+// a finite, documented value on zero-length anchors, zero time spans and
+// stationary stretches. These shapes reach the measures both through
+// valid trajectories (equal locations, increasing timestamps) and — for
+// OnlineValue, which takes raw points — through arbitrary caller input.
+
+func assertFinite(t *testing.T, name string, v float64) {
+	t.Helper()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("%s = %v, want finite", name, v)
+	}
+}
+
+func TestZeroLengthAnchorAllMeasures(t *testing.T) {
+	// Anchor endpoints share a location: the object sat still while the
+	// interior point wandered off.
+	tr := traj.Trajectory{
+		geo.Pt(1, 1, 0),
+		geo.Pt(4, 5, 1), // interior, 5 away from the anchor location
+		geo.Pt(1, 1, 2),
+	}
+	for _, m := range Measures {
+		v := PointError(m, tr, 0, 1, 2)
+		assertFinite(t, "PointError "+m.String(), v)
+		s := SegmentError(m, tr, 0, 2)
+		assertFinite(t, "SegmentError "+m.String(), s)
+	}
+	// SED against a zero-length anchor is the distance to the shared
+	// location, time-independent.
+	if v := PointError(SED, tr, 0, 1, 2); math.Abs(v-5) > 1e-12 {
+		t.Errorf("SED zero-length anchor = %v, want 5", v)
+	}
+	if v := PointError(PED, tr, 0, 1, 2); math.Abs(v-5) > 1e-12 {
+		t.Errorf("PED zero-length anchor = %v, want 5", v)
+	}
+	// DAD: a zero-length anchor imposes no direction constraint.
+	if v := PointError(DAD, tr, 0, 1, 2); v != 0 {
+		t.Errorf("DAD zero-length anchor = %v, want 0", v)
+	}
+}
+
+func TestStationaryStretchZeroError(t *testing.T) {
+	// A fully stationary trajectory simplified to its endpoints has zero
+	// error under every measure: nothing moved, nothing is lost.
+	tr := traj.Trajectory{
+		geo.Pt(2, 3, 0),
+		geo.Pt(2, 3, 1),
+		geo.Pt(2, 3, 2),
+		geo.Pt(2, 3, 5),
+	}
+	for _, m := range Measures {
+		if e := Error(m, tr, []int{0, 3}); e != 0 {
+			t.Errorf("%s stationary error = %v, want 0", m, e)
+		}
+	}
+}
+
+func TestZeroTimeSpanOnlineValue(t *testing.T) {
+	// OnlineValue takes raw points, so a duplicate timestamp can reach it
+	// directly. The anchor prev-next then has zero duration: SED collapses
+	// to the segment start, SAD to a stationary interpretation.
+	prev := geo.Pt(0, 0, 5)
+	cur := geo.Pt(1, 1, 5)
+	next := geo.Pt(2, 0, 5)
+	for _, m := range Measures {
+		assertFinite(t, "OnlineValue "+m.String(), OnlineValue(m, prev, cur, next))
+	}
+	// SED with a zero time span interpolates to prev's location.
+	want := geo.Dist(cur, prev)
+	if v := OnlineValue(SED, prev, cur, next); math.Abs(v-want) > 1e-12 {
+		t.Errorf("SED zero time span = %v, want %v", v, want)
+	}
+	// SAD: both buffer segments have zero duration, both speeds are 0.
+	if v := OnlineValue(SAD, prev, cur, next); v != 0 {
+		t.Errorf("SAD zero time span = %v, want 0", v)
+	}
+}
+
+func TestDuplicateTimestampTrajectoryFinite(t *testing.T) {
+	// Raw trajectories with duplicate timestamps fail traj.Validate but
+	// the measures must still be total over them (internal callers build
+	// trajectories without revalidating).
+	tr := traj.Trajectory{
+		geo.Pt(0, 0, 0),
+		geo.Pt(1, 2, 1),
+		geo.Pt(3, 1, 1), // duplicate timestamp
+		geo.Pt(4, 4, 2),
+	}
+	for _, m := range Measures {
+		for i := 1; i < 3; i++ {
+			assertFinite(t, "PointError "+m.String(), PointError(m, tr, 0, i, 3))
+		}
+		assertFinite(t, "SegmentError "+m.String(), SegmentError(m, tr, 0, 3))
+		assertFinite(t, "Error "+m.String(), Error(m, tr, []int{0, 3}))
+	}
+}
+
+func TestExtremeCoordinatesNoNaN(t *testing.T) {
+	// Coordinates large enough to overflow intermediate squares and
+	// differences, but whose true errors are representable: no NaN and no
+	// spurious Inf may escape (the regression class fixed alongside the
+	// internal/check harness: ClosestParam, Lerp, Speed, SpeedDistance).
+	tr := traj.Trajectory{
+		geo.Pt(-1e160, -1e160, 0),
+		geo.Pt(1, 1, 1),
+		geo.Pt(1e160, 1e160, 2),
+	}
+	for _, m := range Measures {
+		v := PointError(m, tr, 0, 1, 2)
+		assertFinite(t, "PointError extreme "+m.String(), v)
+	}
+	// Opposite extremes on one axis: the SED interpolant at the midpoint
+	// is representable even though B.X - A.X overflows.
+	tr2 := traj.Trajectory{
+		geo.Pt(1e308, 0, 0),
+		geo.Pt(0, 1, 0.5),
+		geo.Pt(-1e308, 0, 1),
+	}
+	v := PointError(SED, tr2, 0, 1, 2)
+	assertFinite(t, "SED opposite extremes", v)
+	if math.Abs(v-1) > 1e-9 {
+		t.Errorf("SED opposite extremes = %v, want 1 (midpoint is the origin)", v)
+	}
+	v = PointError(PED, tr2, 0, 1, 2)
+	assertFinite(t, "PED opposite extremes", v)
+	if math.Abs(v-1) > 1e-9 {
+		t.Errorf("PED opposite extremes = %v, want 1", v)
+	}
+	assertFinite(t, "SAD opposite extremes", PointError(SAD, tr2, 0, 1, 2))
+	assertFinite(t, "DAD opposite extremes", PointError(DAD, tr2, 0, 1, 2))
+}

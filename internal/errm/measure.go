@@ -5,6 +5,29 @@
 // provides an incremental error tracker that maintains the trajectory error
 // across drop/extend operations, which the RL training loop uses to compute
 // rewards in amortized sub-linear time.
+//
+// # Degenerate geometry
+//
+// All four measures are total functions over finite inputs: they return a
+// finite, well-defined error for every degenerate shape instead of NaN or
+// a panic. The conventions, fixed here and enforced by the differential
+// harness in internal/check, are:
+//
+//   - A zero-length anchor segment (equal endpoint locations, as a
+//     stationary stretch produces) has no preferred direction: DAD treats
+//     it — and a zero-length motion segment — as imposing no direction
+//     constraint and contributes 0 (geo.DirectionDistance). SED and PED
+//     measure the plain distance to the shared location.
+//   - A zero (or negative) time span yields speed 0 (geo.Segment.Speed),
+//     so SAD compares against a stationary interpretation rather than
+//     dividing by zero; SED's time interpolation collapses to the segment
+//     start (geo.Segment.TimeParam) rather than producing NaN.
+//   - Extreme but finite coordinates never turn representable errors into
+//     NaN/Inf through intermediate overflow: the geo primitives fall back
+//     to normalized/halved arithmetic when a difference or squared length
+//     overflows float64. Errors whose true value exceeds the float64
+//     range saturate to +Inf; two speeds that both saturate compare equal
+//     under SAD.
 package errm
 
 import (

@@ -83,6 +83,15 @@ func KeptIndices(t, simplified traj.Trajectory) ([]int, error) {
 	return kept, nil
 }
 
+// CheckKept reports whether kept is a well-formed simplification index set
+// for t: at least two strictly increasing indices spanning [0, len(t)-1].
+// It is the non-panicking form of the validation Error performs, for
+// callers handling untrusted simplifier output (e.g. minsize.SearchBudget
+// probing an arbitrary MinErrorFunc).
+func CheckKept(t traj.Trajectory, kept []int) error {
+	return checkKept(t, kept)
+}
+
 func checkKept(t traj.Trajectory, kept []int) error {
 	if len(kept) < 2 {
 		return fmt.Errorf("errm: need at least 2 kept indices, got %d", len(kept))

@@ -44,7 +44,13 @@ func DirectionDistance(s, m Segment) float64 {
 
 // SpeedDistance returns the speed-aware distance (SAD primitive) between
 // the anchor segment s and the motion segment m: the absolute difference
-// of their constant-speed interpretations.
+// of their constant-speed interpretations. Two speeds that both saturate
+// to +Inf (true values beyond float64 range) compare equal — returning 0
+// instead of the Inf-Inf NaN the naive subtraction would produce.
 func SpeedDistance(s, m Segment) float64 {
-	return math.Abs(s.Speed() - m.Speed())
+	a, b := s.Speed(), m.Speed()
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return 0
+	}
+	return math.Abs(a - b)
 }

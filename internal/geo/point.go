@@ -52,11 +52,26 @@ func (p Point) IsFinite() bool {
 
 // Lerp linearly interpolates between the locations of p and q with
 // parameter u in [0, 1]: u = 0 yields p's location, u = 1 yields q's.
-// The timestamp of the result is interpolated as well.
+// The timestamp of the result is interpolated as well. When a coordinate
+// difference overflows float64 (endpoints near opposite extremes of the
+// range), the affected component falls back to the convex form
+// (1-u)*a + u*b, which cannot overflow for u in [0, 1] and finite
+// endpoints, so representable interpolants are never lost to an
+// intermediate Inf.
 func Lerp(p, q Point, u float64) Point {
 	return Point{
-		X: p.X + u*(q.X-p.X),
-		Y: p.Y + u*(q.Y-p.Y),
-		T: p.T + u*(q.T-p.T),
+		X: lerp1(p.X, q.X, u),
+		Y: lerp1(p.Y, q.Y, u),
+		T: lerp1(p.T, q.T, u),
 	}
+}
+
+func lerp1(a, b, u float64) float64 {
+	v := a + u*(b-a)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		// b-a overflowed (or u*(b-a) produced 0*Inf): the convex form is
+		// bounded by max(|a|, |b|) for u in [0, 1], hence finite.
+		return (1-u)*a + u*b
+	}
+	return v
 }

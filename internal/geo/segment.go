@@ -23,13 +23,27 @@ func (s Segment) Duration() float64 { return s.B.T - s.A.T }
 // Speed returns the constant speed at which the object is interpreted to
 // move along the segment: Length / Duration. A zero (or negative, for
 // unsorted input) duration yields 0 speed, so degenerate segments never
-// produce Inf/NaN.
+// produce Inf/NaN. When both the length and the duration overflow float64
+// (endpoints near ±MaxFloat64 in space and time), the ratio is recomputed
+// from halved differences, which cannot overflow for finite endpoints.
 func (s Segment) Speed() float64 {
 	dt := s.Duration()
 	if dt <= 0 {
 		return 0
 	}
-	return s.Length() / dt
+	v := s.Length() / dt
+	if math.IsNaN(v) || math.IsInf(dt, 0) {
+		// Inf/Inf, or a finite length over an overflowed duration (which
+		// the fast path collapses to 0): halving every difference keeps
+		// them finite and the halves cancel in the ratio.
+		hl := math.Hypot(s.B.X/2-s.A.X/2, s.B.Y/2-s.A.Y/2)
+		hdt := s.B.T/2 - s.A.T/2
+		if hdt <= 0 {
+			return 0
+		}
+		return hl / hdt
+	}
+	return v
 }
 
 // Direction returns the heading of the segment in radians in (-pi, pi],
@@ -49,27 +63,65 @@ func (s Segment) IsDegenerate() bool {
 }
 
 // ClosestParam returns the parameter u in [0, 1] such that Lerp(A, B, u)
-// is the point on the segment closest to p's location.
+// is the point on the segment closest to p's location. Inputs whose
+// squared length overflows float64 are projected with normalized
+// arithmetic instead, so extreme (but finite) coordinates never yield NaN.
 func (s Segment) ClosestParam(p Point) float64 {
 	dx, dy := s.B.X-s.A.X, s.B.Y-s.A.Y
 	den := dx*dx + dy*dy
 	if den == 0 {
 		return 0
 	}
+	if math.IsInf(den, 0) {
+		return s.closestParamWide(p)
+	}
 	u := ((p.X-s.A.X)*dx + (p.Y-s.A.Y)*dy) / den
+	return clamp01(u)
+}
+
+// closestParamWide is the overflow-safe slow path of ClosestParam: the
+// segment direction is normalized by its largest half-component (halving
+// keeps differences of finite values finite) before projecting, so no
+// intermediate square of a raw coordinate difference is ever formed.
+func (s Segment) closestParamWide(p Point) float64 {
+	hx, hy := s.B.X/2-s.A.X/2, s.B.Y/2-s.A.Y/2
+	m := math.Max(math.Abs(hx), math.Abs(hy))
+	if m == 0 {
+		return 0
+	}
+	nx, ny := hx/m, hy/m
+	vx, vy := p.X/2-s.A.X/2, p.Y/2-s.A.Y/2
+	// u = (v·d)/|d|² with d = 2m·(nx, ny) and v = 2·(vx, vy); the factors
+	// of two cancel. Divide by the O(1) norm first so the only remaining
+	// division is by m, which is huge on this path.
+	u := (vx*nx + vy*ny) / (nx*nx + ny*ny) / m
+	return clamp01(u)
+}
+
+// clamp01 clamps u to [0, 1], mapping NaN (a pathological magnitude
+// spread where opposing contributions both overflow) to 0.
+func clamp01(u float64) float64 {
+	if math.IsNaN(u) {
+		return 0
+	}
 	return math.Max(0, math.Min(1, u))
 }
 
 // TimeParam returns the parameter u in [0, 1] locating time t
 // proportionally within the segment's time span. A degenerate time span
-// maps everything to 0.
+// maps everything to 0. A time span that overflows float64 is recomputed
+// from halved timestamps (finite for finite inputs), so astronomically
+// long segments still interpolate instead of collapsing to an endpoint.
 func (s Segment) TimeParam(t float64) float64 {
 	dt := s.Duration()
 	if dt <= 0 {
 		return 0
 	}
+	if math.IsInf(dt, 0) {
+		return clamp01((t/2 - s.A.T/2) / (s.B.T/2 - s.A.T/2))
+	}
 	u := (t - s.A.T) / dt
-	return math.Max(0, math.Min(1, u))
+	return clamp01(u)
 }
 
 // At returns the synchronized position on the segment at time t: the

@@ -15,6 +15,7 @@
 package minsize
 
 import (
+	"errors"
 	"fmt"
 
 	"rlts/internal/errm"
@@ -108,38 +109,83 @@ func Optimal(t traj.Trajectory, bound float64, m errm.Measure) ([]int, error) {
 // MinErrorFunc is any Min-Error simplifier (budget in, kept indices out).
 type MinErrorFunc func(t traj.Trajectory, w int) ([]int, error)
 
-// SearchBudget finds the smallest budget W whose Min-Error simplification
-// by f has error <= bound, via binary search over W — the adaptation of
-// Min-Error algorithms the paper's related work describes. It requires f
-// to be error-monotone in W (true for the well-behaved heuristics;
-// near-true for sampled RLTS policies).
+// ErrInvalidSimplification is returned (wrapped) by SearchBudget when the
+// probed simplifier yields indices that are not a valid simplification of
+// t — missing endpoints, out of range, or not strictly increasing.
+var ErrInvalidSimplification = errors.New("minsize: simplifier returned invalid kept indices")
+
+// SearchBudget finds a small budget W whose Min-Error simplification by f
+// has error <= bound, via binary search over W — the adaptation of
+// Min-Error algorithms the paper's related work describes. The returned
+// simplification is always verified to meet the bound.
+//
+// The binary search assumes f is error-monotone in W (a larger budget
+// never hurts), which holds for the well-behaved heuristics but can be
+// violated by a stochastic RLTS policy. A violation can make every probed
+// budget look infeasible even though feasible budgets exist; instead of
+// silently returning the identity simplification, SearchBudget then falls
+// back to a linear scan over W = 2..len(t), returning the first budget
+// whose (verified) result meets the bound. For a non-monotone f the
+// result is therefore feasible but only heuristically small. Simplifier
+// output that is not a valid simplification of t yields an error wrapping
+// ErrInvalidSimplification rather than a panic.
 func SearchBudget(t traj.Trajectory, bound float64, m errm.Measure, f MinErrorFunc) ([]int, error) {
 	if err := check(t, bound, m); err != nil {
 		return nil, err
 	}
 	n := len(t)
+	// eval probes one budget, validating f's output before measuring it.
+	eval := func(w int) (kept []int, feasible bool, err error) {
+		kept, err = f(t, w)
+		if err != nil {
+			return nil, false, err
+		}
+		if verr := errm.CheckKept(t, kept); verr != nil {
+			return nil, false, fmt.Errorf("%w (budget %d): %v", ErrInvalidSimplification, w, verr)
+		}
+		return kept, errm.Error(m, t, kept) <= bound, nil
+	}
 	lo, hi := 2, n
 	var best []int
+	bestW := 0
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		kept, err := f(t, mid)
+		kept, feasible, err := eval(mid)
 		if err != nil {
 			return nil, err
 		}
-		if errm.Error(m, t, kept) <= bound {
-			best = kept
+		if feasible {
+			best, bestW = kept, mid
 			hi = mid - 1
 		} else {
 			lo = mid + 1
 		}
 	}
-	if best == nil {
-		// W = n always succeeds (identity simplification, error 0).
-		kept := make([]int, n)
-		for i := range kept {
-			kept[i] = i
-		}
-		return kept, nil
+	if best != nil && bestW < n {
+		return best, nil
 	}
-	return best, nil
+	// Either the search saw no feasible budget at all, or the only one it
+	// found was W = n (which any f satisfies trivially and which signals
+	// that every smaller probe failed). Both are expected for a genuinely
+	// incompressible trajectory but are also exactly what a non-monotone f
+	// produces when the probed budgets were unlucky — scan linearly so a
+	// feasible budget cannot be missed.
+	for w := 2; w < n; w++ {
+		kept, feasible, err := eval(w)
+		if err != nil {
+			return nil, err
+		}
+		if feasible {
+			return kept, nil
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+	// W = n always succeeds (identity simplification, error 0).
+	kept := make([]int, n)
+	for i := range kept {
+		kept[i] = i
+	}
+	return kept, nil
 }

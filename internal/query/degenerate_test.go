@@ -1,0 +1,178 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+// Degenerate-input coverage: every workload must answer sensibly (and
+// finitely) for inputs at or past the edges of its domain — queries
+// outside the time span, empty or inverted regions, inverted windows,
+// minimal trajectories. These are exactly the shapes a simplified
+// trajectory of a short or stationary stream produces.
+
+func degenTraj() traj.Trajectory {
+	return traj.Trajectory{geo.Pt(0, 0, 0), geo.Pt(10, 0, 10)}
+}
+
+func TestPositionAtOutsideSpan(t *testing.T) {
+	tr := degenTraj()
+	if p := PositionAt(tr, -100); !p.Equal(tr[0]) {
+		t.Errorf("before span: got %v, want clamp to first point", p)
+	}
+	if p := PositionAt(tr, 1e9); !p.Equal(tr[1]) {
+		t.Errorf("after span: got %v, want clamp to last point", p)
+	}
+	// Exactly at the endpoints.
+	if p := PositionAt(tr, 0); !p.Equal(tr[0]) {
+		t.Errorf("at start: got %v", p)
+	}
+	if p := PositionAt(tr, 10); !p.Equal(tr[1]) {
+		t.Errorf("at end: got %v", p)
+	}
+	// Empty and single-point trajectories.
+	if p := PositionAt(nil, 5); p != (geo.Point{}) {
+		t.Errorf("empty trajectory: got %v, want zero point", p)
+	}
+	one := traj.Trajectory{geo.Pt(3, 4, 5)}
+	if p := PositionAt(one, 99); !p.Equal(one[0]) {
+		t.Errorf("single point: got %v", p)
+	}
+}
+
+func TestWithinDuringInvertedRect(t *testing.T) {
+	tr := degenTraj()
+	inv := Rect{MinX: 5, MinY: 5, MaxX: -5, MaxY: -5}
+	if WithinDuring(tr, inv, 0, 10) {
+		t.Error("inverted rect reported containment")
+	}
+	// An inverted rect must also never report containment for any segment
+	// orientation (diagonals probing the Liang-Barsky clip).
+	diag := traj.Trajectory{geo.Pt(-10, -10, 0), geo.Pt(10, 10, 1)}
+	if WithinDuring(diag, inv, 0, 1) {
+		t.Error("inverted rect intersected a diagonal")
+	}
+	if inv.SegmentIntersects(geo.Pt(-1, 0, 0), geo.Pt(1, 0, 1)) {
+		t.Error("inverted rect intersected a crossing segment")
+	}
+}
+
+func TestWithinDuringEmptyRect(t *testing.T) {
+	// A zero-area rect is a point region: only an exact pass-through hits.
+	tr := degenTraj()
+	pt := Rect{MinX: 5, MinY: 0, MaxX: 5, MaxY: 0}
+	if !WithinDuring(tr, pt, 0, 10) {
+		t.Error("point rect on the path not hit")
+	}
+	off := Rect{MinX: 5, MinY: 1, MaxX: 5, MaxY: 1}
+	if WithinDuring(tr, off, 0, 10) {
+		t.Error("point rect off the path hit")
+	}
+}
+
+func TestWithinDuringInvertedWindow(t *testing.T) {
+	tr := degenTraj()
+	r := Rect{MinX: -1, MinY: -1, MaxX: 11, MaxY: 1}
+	if WithinDuring(tr, r, 9, 1) {
+		t.Error("t1 > t2 reported containment")
+	}
+	// Window entirely outside the trajectory span.
+	if WithinDuring(tr, r, 100, 200) {
+		t.Error("window after the span reported containment")
+	}
+	if WithinDuring(tr, r, -200, -100) {
+		t.Error("window before the span reported containment")
+	}
+	// Degenerate window t1 == t2 at a covered instant still answers.
+	if !WithinDuring(tr, r, 5, 5) {
+		t.Error("instant window on the path missed")
+	}
+}
+
+func TestNearestApproachSingleSegment(t *testing.T) {
+	tr := degenTraj()
+	d, at := NearestApproach(tr, geo.Pt(5, 3, 0))
+	if math.Abs(d-3) > 1e-12 {
+		t.Errorf("distance = %v, want 3", d)
+	}
+	if math.Abs(at-5) > 1e-12 {
+		t.Errorf("time = %v, want 5", at)
+	}
+	// Query beyond the segment end clamps to the endpoint.
+	d, at = NearestApproach(tr, geo.Pt(20, 0, 0))
+	if math.Abs(d-10) > 1e-12 || math.Abs(at-10) > 1e-12 {
+		t.Errorf("beyond end: d=%v at=%v, want 10, 10", d, at)
+	}
+	// Single-point trajectory: distance to that point, at its timestamp.
+	one := traj.Trajectory{geo.Pt(1, 1, 7)}
+	d, at = NearestApproach(one, geo.Pt(4, 5, 0))
+	if math.Abs(d-5) > 1e-12 || at != 7 {
+		t.Errorf("single point: d=%v at=%v, want 5, 7", d, at)
+	}
+	// Empty trajectory: +Inf distance, by documented convention.
+	d, _ = NearestApproach(nil, geo.Pt(0, 0, 0))
+	if !math.IsInf(d, 1) {
+		t.Errorf("empty trajectory: d=%v, want +Inf", d)
+	}
+}
+
+func TestSimilarityLengthOne(t *testing.T) {
+	one := traj.Trajectory{geo.Pt(0, 0, 0)}
+	two := degenTraj()
+	// DTW against a single point is the sum of distances to that point.
+	want := geo.Dist(two[0], one[0]) + geo.Dist(two[1], one[0])
+	if d := DTW(one, two); math.Abs(d-want) > 1e-12 {
+		t.Errorf("DTW len-1 = %v, want %v", d, want)
+	}
+	if d := DTW(two, one); math.Abs(d-want) > 1e-12 {
+		t.Errorf("DTW len-1 (swapped) = %v, want %v", d, want)
+	}
+	// Fréchet against a single point is the max distance to that point.
+	wantF := math.Max(geo.Dist(two[0], one[0]), geo.Dist(two[1], one[0]))
+	if d := DiscreteFrechet(one, two); math.Abs(d-wantF) > 1e-12 {
+		t.Errorf("Frechet len-1 = %v, want %v", d, wantF)
+	}
+	if d := DiscreteFrechet(two, one); math.Abs(d-wantF) > 1e-12 {
+		t.Errorf("Frechet len-1 (swapped) = %v, want %v", d, wantF)
+	}
+	// Both length one.
+	if d := DTW(one, one); d != 0 {
+		t.Errorf("DTW 1x1 identical = %v", d)
+	}
+	// Empty operands keep the documented +Inf convention.
+	if d := DTW(nil, two); !math.IsInf(d, 1) {
+		t.Errorf("DTW empty = %v", d)
+	}
+	if d := DiscreteFrechet(two, nil); !math.IsInf(d, 1) {
+		t.Errorf("Frechet empty = %v", d)
+	}
+}
+
+func TestQueriesFiniteOnStationaryTrajectory(t *testing.T) {
+	// A stationary object (zero-length segments throughout) must not
+	// produce NaN in any workload.
+	tr := traj.Trajectory{geo.Pt(2, 2, 0), geo.Pt(2, 2, 1), geo.Pt(2, 2, 2)}
+	p := PositionAt(tr, 0.5)
+	if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+		t.Errorf("PositionAt NaN on stationary trajectory: %v", p)
+	}
+	d, at := NearestApproach(tr, geo.Pt(5, 6, 0))
+	if math.IsNaN(d) || math.IsNaN(at) {
+		t.Errorf("NearestApproach NaN: d=%v at=%v", d, at)
+	}
+	if math.Abs(d-5) > 1e-12 {
+		t.Errorf("NearestApproach stationary: d=%v, want 5", d)
+	}
+	if v := DTW(tr, tr); v != 0 {
+		t.Errorf("DTW self = %v", v)
+	}
+	if v := DiscreteFrechet(tr, tr); v != 0 {
+		t.Errorf("Frechet self = %v", v)
+	}
+	if !WithinDuring(tr, Rect{MinX: 1, MinY: 1, MaxX: 3, MaxY: 3}, 0, 2) {
+		t.Error("stationary point inside rect not reported")
+	}
+}

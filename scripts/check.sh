@@ -14,6 +14,12 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+# The differential/metamorphic harness runs in the suite above at scale 1;
+# the gate gives it a deeper, dedicated pass so oracle drift can't hide
+# behind a fast default. Deterministic seeds: a failure here reproduces.
+echo "== differential harness (internal/check, CHECK_SCALE=${CHECK_SCALE:-4}) =="
+CHECK_SCALE="${CHECK_SCALE:-4}" go test -race -count=1 ./internal/check
+
 # One iteration per obs benchmark: catches compile errors and gross
 # regressions (a panicking Observe, an encoder that hangs) without
 # turning the gate into a benchmark run.
