@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test check check-diff bench-rollout bench-obs
+.PHONY: test check check-diff bench-rollout bench-obs bench-batch
 
 test:
 	$(GO) test ./...
@@ -27,3 +27,8 @@ bench-rollout:
 # the text encoder).
 bench-obs:
 	$(GO) test ./internal/obs -run '^$$' -bench . -benchmem
+
+# Regenerate the batched-inference throughput baseline (BENCH_batch.json):
+# ForwardBatch vs per-state Forward, BatchEngine vs sequential Simplify.
+bench-batch:
+	sh scripts/bench_batch.sh

@@ -32,10 +32,19 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		workers = flag.Int("workers", 0, "parallel workers for training and evaluation (0 = all CPUs, 1 = serial)")
 		logJSON = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		batch   = flag.Bool("batch", false, "run the batched-inference throughput sweep instead of an experiment")
+		batchTo = flag.String("batch-out", "", "write the -batch sweep as JSON to this file (default: stdout)")
+		batchW  = flag.Int("batch-width", 0, "evaluate trained policies through the lockstep batch engine in shards of this many trajectories (0 = per-trajectory; results identical either way)")
 	)
 	flag.Parse()
 	logger := obs.CommandLogger(os.Stderr, "rlts-bench", *verbose, *logJSON)
 
+	if *batch {
+		if err := runBatchSweep(*batchTo, *seed); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *list {
 		fmt.Println("available experiments:")
 		for _, e := range eval.Experiments() {
@@ -57,6 +66,7 @@ func main() {
 	}
 	ctx := eval.NewContext(s, *seed, logSink)
 	ctx.Workers = *workers
+	ctx.BatchWidth = *batchW
 
 	exps := eval.Experiments()
 	if *exp != "all" {

@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"rlts/internal/core"
+	"rlts/internal/errm"
+	"rlts/internal/traj"
+)
+
+// RunSetBatched evaluates a trained policy over data through
+// core.BatchEngine shards: trajectories are split into width-sized
+// groups, each stepped in lockstep so one matrix forward drives the
+// whole group, with up to workers groups simplifying concurrently (0 =
+// GOMAXPROCS), each on its own policy clone.
+//
+// The per-trajectory results — and therefore MeanErr — are
+// bit-identical to RunSet/RunSetParallel over RLTSAlgorithmConcurrent
+// with the same seed, at any width and worker count: the engine output
+// equals sequential Simplify exactly, and sampled (online-variant)
+// items derive their RNG streams from the same trajSeed the
+// per-trajectory wrapper uses. Only the timing differs in kind: Total
+// is the summed per-shard wall-clock (the cost of running the shards
+// back to back), not a summed per-trajectory figure, because lockstep
+// trajectories do not have individual durations.
+func RunSetBatched(tr *core.Trained, data []traj.Trajectory, wRatio float64, m errm.Measure, seed int64, width, workers int) (MeasureResult, error) {
+	res := MeasureResult{Algorithm: tr.Opts.Name()}
+	if len(data) == 0 {
+		return res, nil
+	}
+	if width <= 0 || width > len(data) {
+		width = len(data)
+	}
+	shards := (len(data) + width - 1) / width
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	sample := tr.Opts.Variant == core.Online
+
+	items := make([]core.BatchItem, len(data))
+	for i, t := range data {
+		items[i] = core.BatchItem{T: t, W: budget(len(t), wRatio)}
+		if sample {
+			items[i].R = rand.New(rand.NewSource(trajSeed(seed, t)))
+		}
+	}
+	results := make([]core.BatchResult, len(data))
+	durs := make([]time.Duration, shards)
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		errs = make([]error, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			eng, err := core.NewBatchEngine(tr.Policy.Clone(), tr.Opts, sample)
+			if err != nil {
+				errs[w] = err
+				for range next {
+					// Drain so the feeder never blocks.
+				}
+				return
+			}
+			for s := range next {
+				lo := s * width
+				hi := lo + width
+				if hi > len(items) {
+					hi = len(items)
+				}
+				start := time.Now()
+				copy(results[lo:hi], eng.Run(items[lo:hi]))
+				durs[s] = time.Since(start)
+			}
+		}(w)
+	}
+	for s := 0; s < shards; s++ {
+		next <- s
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("eval: %s: %w", tr.Opts.Name(), err)
+		}
+	}
+	for _, d := range durs {
+		res.Total += d
+	}
+	for i, r := range results {
+		t := data[i]
+		err := r.Err
+		if err == nil {
+			err = errm.CheckKept(t, r.Kept)
+		}
+		if err != nil {
+			return res, fmt.Errorf("eval: %s: trajectory %d: %w", tr.Opts.Name(), i, err)
+		}
+		res.MeanErr += errm.Error(m, t, r.Kept)
+		res.Points += len(t)
+	}
+	res.MeanErr /= float64(len(data))
+	return res, nil
+}
+
+// runSetPolicy evaluates a trained policy honouring the context's batch
+// and worker settings: the lockstep batched runner when BatchWidth is
+// positive, the per-trajectory parallel path otherwise. Reported errors
+// are identical either way (see RunSetBatched); the choice only moves
+// where the inference cycles are spent.
+func (c *Context) runSetPolicy(tr *core.Trained, data []traj.Trajectory, wRatio float64, m errm.Measure) (MeasureResult, error) {
+	if c.BatchWidth > 0 {
+		return RunSetBatched(tr, data, wRatio, m, c.Seed, c.BatchWidth, c.Workers)
+	}
+	return c.runSet(c.rlts(tr), data, wRatio, m)
+}

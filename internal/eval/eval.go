@@ -128,6 +128,12 @@ type Context struct {
 	// training (0 = GOMAXPROCS, 1 = fully serial). Results are
 	// deterministic for any value.
 	Workers int
+	// BatchWidth, when positive, evaluates trained policies through the
+	// lockstep core.BatchEngine runner with shards of this many
+	// trajectories instead of one Simplify call per trajectory. Reported
+	// errors are identical at every width (see RunSetBatched); timing
+	// reflects the batched execution.
+	BatchWidth int
 
 	policies map[string]*core.Trained
 	datasets map[string][]traj.Trajectory
@@ -257,6 +263,11 @@ func RunSet(a Algorithm, data []traj.Trajectory, wRatio float64, m errm.Measure)
 		start := time.Now()
 		kept, err := a.Run(t, w)
 		res.Total += time.Since(start)
+		if err == nil {
+			// Same guard as RunSetParallel: refuse malformed index sets
+			// before they skew the mean or panic inside errm.Error.
+			err = errm.CheckKept(t, kept)
+		}
 		if err != nil {
 			return res, fmt.Errorf("eval: %s: %w", a.Name, err)
 		}

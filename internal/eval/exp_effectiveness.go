@@ -191,7 +191,7 @@ func ExpPolicy(c *Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	learned, err := c.runSet(c.rlts(tr), data, wRatio, m)
+	learned, err := c.runSetPolicy(tr, data, wRatio, m)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +252,7 @@ func ExpK(c *Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := c.runSet(c.rlts(tr), data, 0.1, m)
+		res, err := c.runSetPolicy(tr, data, 0.1, m)
 		if err != nil {
 			return nil, err
 		}
@@ -277,7 +277,7 @@ func ExpJ(c *Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := c.runSet(c.rlts(tr), data, 0.1, m)
+		res, err := c.runSetPolicy(tr, data, 0.1, m)
 		if err != nil {
 			return nil, err
 		}

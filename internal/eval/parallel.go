@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -50,6 +51,12 @@ func RunSetParallel(a Algorithm, data []traj.Trajectory, wRatio float64, m errm.
 				kept, err := a.Run(t, budget)
 				cells[i].dur = time.Since(start)
 				cells[i].points = len(t)
+				if err == nil {
+					// A malformed index set would silently skew the mean
+					// error (or panic inside errm.Error); surface it as a
+					// typed per-trajectory failure instead.
+					err = errm.CheckKept(t, kept)
+				}
 				if err != nil {
 					cells[i].err = err
 					continue
@@ -94,15 +101,29 @@ func RLTSAlgorithmConcurrent(tr *core.Trained, seed int64) Algorithm {
 		Run: func(t traj.Trajectory, w int) ([]int, error) {
 			// Derive the sampling RNG from the trajectory identity so the
 			// result does not depend on goroutine scheduling.
-			h := seed
-			if len(t) > 0 {
-				h = h*31 + int64(len(t))
-				h = h*31 + int64(t[0].X*1e3) + int64(t[len(t)-1].Y*1e3)
-			}
-			r := rand.New(rand.NewSource(h))
+			r := rand.New(rand.NewSource(trajSeed(seed, t)))
 			c := pool.Get().(*core.Trained)
 			defer pool.Put(c)
 			return c.Simplify(t, w, r)
 		},
 	}
+}
+
+// trajSeed derives a deterministic per-trajectory sampling seed from the
+// base seed and the trajectory's identity (length plus first/last
+// coordinates). The coordinates enter through math.Float64bits: a direct
+// int64(x) conversion is implementation-defined once x leaves the int64
+// range, and the adversarial ±6e307 coordinates the differential harness
+// generates do exactly that — Float64bits is total, so the derived
+// stream is the same on every platform and for every value. The batched
+// eval runner shares this derivation, which is what makes its sampled
+// results bit-identical to the per-trajectory path.
+func trajSeed(seed int64, t traj.Trajectory) int64 {
+	h := seed
+	if len(t) > 0 {
+		h = h*31 + int64(len(t))
+		h = h*31 + int64(math.Float64bits(t[0].X))
+		h = h*31 + int64(math.Float64bits(t[len(t)-1].Y))
+	}
+	return h
 }

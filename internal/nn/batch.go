@@ -1,0 +1,126 @@
+package nn
+
+import "math"
+
+// Batched inference forwards. Every layer implements ForwardBatch: the
+// matrix form of Forward(x, false) over b row-major input rows, producing
+// b row-major output rows that are bit-identical, row by row, to the
+// vector path. The batched serving engine (core.BatchEngine) drives one
+// matrix forward per lockstep decision round instead of b vector
+// forwards, amortizing per-call overhead (layer dispatch, length checks,
+// scratch walks) and per-call recomputation (the batch-norm denominators)
+// across the whole batch.
+//
+// Bit-identity discipline: a batched kernel may hoist a subexpression out
+// of the row loop only when the hoisted value is computed by exactly the
+// same float64 operations as the vector path computes per call (e.g. the
+// batch-norm denominator sqrt(Var+Eps), which depends only on frozen
+// statistics). Reassociating per-row accumulation, fusing
+// multiply-divides, or substituting reciprocal multiplication for
+// division would all change low bits and are not allowed — the batch
+// engine's determinism proof (DESIGN.md §12) leans on exact equality.
+//
+// ForwardBatch is inference-only by design: it never updates batch-norm
+// running statistics and caches nothing for Backward. Training keeps the
+// single-sample path, whose Forward/Backward pairing the REINFORCE
+// update requires.
+
+// ForwardBatch runs b row-major input rows (len b*inSize) through all
+// layers and returns the logits as b row-major output rows. The returned
+// slice is network-owned scratch, valid until the next ForwardBatch call;
+// after warm-up the call allocates nothing. Each output row is
+// bit-identical to Forward(row, false) on the same network.
+func (n *Network) ForwardBatch(x []float64, b int) []float64 {
+	if b <= 0 {
+		panic("nn: ForwardBatch with non-positive batch size")
+	}
+	cur := x
+	for i, l := range n.Layers {
+		need := b * l.OutSize()
+		// Ping-pong between two scratch matrices: layer i writes buffer
+		// i%2 and reads the other one (or the caller's input), so no
+		// layer ever reads the matrix it is overwriting.
+		buf := n.batchBuf[i%2]
+		if cap(buf) < need {
+			buf = make([]float64, need)
+			n.batchBuf[i%2] = buf
+		}
+		dst := buf[:need]
+		l.ForwardBatch(dst, cur, b)
+		cur = dst
+	}
+	return cur
+}
+
+// ForwardBatch implements the batched Dense forward: dst (b x Out) =
+// x (b x In) * W^T + bias. Each row runs the exact per-output
+// accumulation loop of the vector path, so rows are bit-identical to
+// Forward.
+func (d *Dense) ForwardBatch(dst, x []float64, b int) {
+	checkLen("Dense batch input", len(x), b*d.In)
+	checkLen("Dense batch dst", len(dst), b*d.Out)
+	w, bias := d.W.Val, d.B.Val
+	in, out := d.In, d.Out
+	for r := 0; r < b; r++ {
+		xr := x[r*in : (r+1)*in]
+		yr := dst[r*out : (r+1)*out]
+		for o := range yr {
+			row := w[o*in : (o+1)*in]
+			s := bias[o]
+			for i, xi := range xr {
+				s += row[i] * xi
+			}
+			yr[o] = s
+		}
+	}
+}
+
+// ForwardBatch implements the batched inference-mode BatchNorm forward:
+// every row is normalized with the frozen running statistics and the
+// affine transform, exactly as Forward(x, false) does per sample. The
+// per-feature denominators sqrt(Var+Eps) depend only on the frozen
+// statistics, so they are computed once per batch instead of once per
+// row — the same float64 values the vector path produces per call.
+// Running statistics are never updated here.
+func (bn *BatchNorm) ForwardBatch(dst, x []float64, b int) {
+	checkLen("BatchNorm batch input", len(x), b*bn.size)
+	checkLen("BatchNorm batch dst", len(dst), b*bn.size)
+	if bn.den == nil {
+		bn.den = make([]float64, bn.size)
+	}
+	den := bn.den
+	for i := range den {
+		den[i] = math.Sqrt(bn.Var[i] + bn.Eps)
+	}
+	gamma, beta, mean := bn.Gamma.Val, bn.Beta.Val, bn.Mean
+	for r := 0; r < b; r++ {
+		xr := x[r*bn.size : (r+1)*bn.size]
+		yr := dst[r*bn.size : (r+1)*bn.size]
+		for i, v := range xr {
+			nv := (v - mean[i]) / den[i]
+			yr[i] = gamma[i]*nv + beta[i]
+		}
+	}
+}
+
+// ForwardBatch applies tanh element-wise over all b rows.
+func (a *Tanh) ForwardBatch(dst, x []float64, b int) {
+	checkLen("Tanh batch input", len(x), b*a.size)
+	checkLen("Tanh batch dst", len(dst), b*a.size)
+	for i, v := range x {
+		dst[i] = math.Tanh(v)
+	}
+}
+
+// ForwardBatch applies max(0, x) element-wise over all b rows.
+func (a *ReLU) ForwardBatch(dst, x []float64, b int) {
+	checkLen("ReLU batch input", len(x), b*a.size)
+	checkLen("ReLU batch dst", len(dst), b*a.size)
+	for i, v := range x {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randStates fills a b x in matrix with a mix of magnitudes so the tanh
+// fast (polynomial) and slow (exp) paths, relu sign branches and softmax
+// ranges are all exercised.
+func randStates(r *rand.Rand, b, in int) []float64 {
+	x := make([]float64, b*in)
+	for i := range x {
+		switch i % 3 {
+		case 0:
+			x[i] = r.NormFloat64() * 0.1
+		case 1:
+			x[i] = r.NormFloat64()
+		default:
+			x[i] = r.NormFloat64() * 100
+		}
+	}
+	return x
+}
+
+// TestForwardBatchBitIdentical sweeps architectures and batch widths and
+// requires exact float64 equality between ForwardBatch rows and the
+// vector Forward on the same network.
+func TestForwardBatchBitIdentical(t *testing.T) {
+	specs := []MLPSpec{
+		{In: 3, Hidden: []int{20}, Out: 3, BatchNorm: true, Activation: "tanh"},
+		{In: 5, Hidden: []int{20}, Out: 5, BatchNorm: true, Activation: "tanh"},
+		{In: 5, Hidden: []int{16}, Out: 5, BatchNorm: true, Activation: "relu"},
+		{In: 4, Hidden: []int{8, 8}, Out: 6, BatchNorm: true, Activation: "tanh"},
+		{In: 7, Hidden: []int{12}, Out: 2, BatchNorm: false, Activation: "tanh"},
+		{In: 2, Hidden: nil, Out: 4, BatchNorm: false, Activation: ""},
+	}
+	widths := []int{1, 2, 7, 16, 64}
+	r := rand.New(rand.NewSource(42))
+	for _, spec := range specs {
+		net, err := NewMLP(spec, r)
+		if err != nil {
+			t.Fatalf("NewMLP(%+v): %v", spec, err)
+		}
+		// Warm up batch-norm statistics with varied samples so the frozen
+		// statistics are non-trivial.
+		for i := 0; i < 50; i++ {
+			net.Forward(randStates(r, 1, spec.In), true)
+		}
+		for _, b := range widths {
+			x := randStates(r, b, spec.In)
+			got := net.ForwardBatch(x, b)
+			if len(got) != b*spec.Out {
+				t.Fatalf("%+v b=%d: output length %d, want %d", spec, b, len(got), b*spec.Out)
+			}
+			for row := 0; row < b; row++ {
+				// The vector forward reuses layer scratch that ForwardBatch
+				// does not touch, but run it after capturing the batch row
+				// anyway to keep aliasing impossible.
+				want := net.Forward(x[row*spec.In:(row+1)*spec.In], false)
+				gotRow := got[row*spec.Out : (row+1)*spec.Out]
+				for o := range want {
+					if gotRow[o] != want[o] {
+						t.Fatalf("%+v b=%d row=%d out=%d: batch %v != vector %v",
+							spec, b, row, o, gotRow[o], want[o])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForwardBatchDoesNotUpdateStats pins the inference-mode contract:
+// a batched forward leaves batch-norm running statistics untouched.
+func TestForwardBatchDoesNotUpdateStats(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	spec := MLPSpec{In: 3, Hidden: []int{8}, Out: 3, BatchNorm: true, Activation: "tanh"}
+	net, err := NewMLP(spec, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		net.Forward(randStates(r, 1, spec.In), true)
+	}
+	var bn *BatchNorm
+	for _, l := range net.Layers {
+		if b, ok := l.(*BatchNorm); ok {
+			bn = b
+		}
+	}
+	mean := append([]float64(nil), bn.Mean...)
+	variance := append([]float64(nil), bn.Var...)
+	net.ForwardBatch(randStates(r, 9, spec.In), 9)
+	for i := range mean {
+		if bn.Mean[i] != mean[i] || bn.Var[i] != variance[i] {
+			t.Fatalf("ForwardBatch moved running statistics at feature %d", i)
+		}
+	}
+}
+
+// TestForwardBatchZeroAlloc verifies the warm path allocates nothing and
+// that growing then shrinking the batch width reuses the large scratch.
+func TestForwardBatchZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	spec := MLPSpec{In: 5, Hidden: []int{20}, Out: 5, BatchNorm: true, Activation: "tanh"}
+	net, err := NewMLP(spec, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randStates(r, 64, spec.In)
+	net.ForwardBatch(x, 64) // warm up at the largest width
+	for _, b := range []int{64, 16, 3, 64} {
+		b := b
+		allocs := testing.AllocsPerRun(10, func() {
+			net.ForwardBatch(x[:b*spec.In], b)
+		})
+		if allocs != 0 {
+			t.Fatalf("ForwardBatch(b=%d) allocates %.1f per call, want 0", b, allocs)
+		}
+	}
+}
+
+func BenchmarkForwardSingle(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	spec := MLPSpec{In: 5, Hidden: []int{20}, Out: 5, BatchNorm: true, Activation: "tanh"}
+	net, _ := NewMLP(spec, r)
+	for i := 0; i < 200; i++ {
+		net.Forward(randStates(r, 1, spec.In), true)
+	}
+	x := randStates(r, 64, spec.In)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for row := 0; row < 64; row++ {
+			benchSink = net.Forward(x[row*spec.In:(row+1)*spec.In], false)
+		}
+	}
+}
+
+func BenchmarkForwardBatch64(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	spec := MLPSpec{In: 5, Hidden: []int{20}, Out: 5, BatchNorm: true, Activation: "tanh"}
+	net, _ := NewMLP(spec, r)
+	for i := 0; i < 200; i++ {
+		net.Forward(randStates(r, 1, spec.In), true)
+	}
+	x := randStates(r, 64, spec.In)
+	net.ForwardBatch(x, 64)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		benchSink = net.ForwardBatch(x, 64)
+	}
+}
+
+var benchSink []float64

@@ -27,6 +27,7 @@ type BatchNorm struct {
 	lastNorm []float64 // cached normalized input for Backward
 	out      []float64 // reused across Forward calls
 	gin      []float64 // reused across Backward calls
+	den      []float64 // per-feature sqrt(Var+Eps) scratch for ForwardBatch
 	inited   bool
 }
 

@@ -39,14 +39,20 @@ type Layer interface {
 	// OutSize returns the length of the layer's output given its
 	// configured input size.
 	OutSize() int
+	// ForwardBatch is the inference-mode matrix forward: x holds b
+	// row-major input rows, dst b row-major output rows, and every row
+	// is bit-identical to Forward(row, false). It never updates running
+	// statistics and caches nothing for Backward; see batch.go.
+	ForwardBatch(dst, x []float64, b int)
 }
 
 // Network is a sequential stack of layers producing logits.
 type Network struct {
 	Layers []Layer
 
-	params    []*Param // lazily built flat view of all layer parameters
-	normDepth int      // 1 + index of last BatchNorm layer; 0 = unknown, -1 = none
+	params    []*Param     // lazily built flat view of all layer parameters
+	normDepth int          // 1 + index of last BatchNorm layer; 0 = unknown, -1 = none
+	batchBuf  [2][]float64 // ping-pong scratch matrices for ForwardBatch
 }
 
 // Forward runs x through all layers. train selects training-time behaviour

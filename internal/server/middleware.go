@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	"rlts/internal/obs"
@@ -22,6 +23,8 @@ const (
 	DefaultDrainTimeout   = 30 * time.Second
 	DefaultStreamTTL      = 5 * time.Minute
 	DefaultMaxStreams     = 1024
+	DefaultMaxBatchItems  = 256
+	DefaultBatchWidth     = 64
 )
 
 // Config tunes the service's protective middleware. The zero value means
@@ -68,6 +71,21 @@ type Config struct {
 	// it are rejected with 429. 0 means DefaultMaxStreams, negative
 	// disables the cap.
 	MaxStreams int
+	// MaxBatchItems caps the trajectories one POST /v1/simplify/batch
+	// request may carry; larger batches are refused with 413 (clients
+	// split them, the same contract as MaxPoints). 0 means
+	// DefaultMaxBatchItems, negative disables the cap.
+	MaxBatchItems int
+	// BatchWidth caps how many trajectories one BatchEngine shard steps
+	// in lockstep; a batch request is split into ceil(items/BatchWidth)
+	// shards. Wider shards amortize the network forward further but
+	// round-robin more working sets through the cache. 0 means
+	// DefaultBatchWidth, negative means one unbounded shard per request.
+	BatchWidth int
+	// BatchWorkers caps how many shards of one batch request simplify
+	// concurrently (each worker owns a policy clone, so results are
+	// identical regardless). 0 means GOMAXPROCS, negative means 1.
+	BatchWorkers int
 }
 
 func (c Config) normalized() Config {
@@ -91,6 +109,18 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxStreams == 0 {
 		c.MaxStreams = DefaultMaxStreams
+	}
+	if c.MaxBatchItems == 0 {
+		c.MaxBatchItems = DefaultMaxBatchItems
+	}
+	if c.BatchWidth == 0 {
+		c.BatchWidth = DefaultBatchWidth
+	}
+	switch {
+	case c.BatchWorkers == 0:
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	case c.BatchWorkers < 0:
+		c.BatchWorkers = 1
 	}
 	return c
 }

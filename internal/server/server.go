@@ -11,6 +11,7 @@
 //	GET    /metrics               Prometheus text-format metrics scrape
 //	GET    /v1/algorithms         available algorithm names
 //	POST   /v1/simplify           simplify one trajectory
+//	POST   /v1/simplify/batch     simplify many trajectories in one request
 //	POST   /v1/stats              Table-I-style statistics for a trajectory
 //	POST   /v1/stream             open a streaming session (see stream.go)
 //	POST   /v1/stream/{id}/points push points into a session
@@ -84,6 +85,7 @@ type Server struct {
 	cfg      Config
 	policies map[string]*core.Trained // lower-case name -> policy
 	streams  *streamManager
+	batch    *batchRunner
 }
 
 // New creates a server with the given trained policies registered under
@@ -105,10 +107,12 @@ func NewWith(policies []*core.Trained, cfg Config) *Server {
 		s.policies[key] = p
 	}
 	s.streams = newStreamManager(s.policies, s.cfg)
+	s.batch = newBatchRunner(s.cfg)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.Handle("/metrics", s.cfg.Metrics.Handler())
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("/v1/simplify", s.handleSimplify)
+	s.mux.HandleFunc("/v1/simplify/batch", s.handleSimplifyBatch)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/stream", s.handleStreamCreate)
 	s.mux.HandleFunc("/v1/stream/{id}", s.handleStreamSession)

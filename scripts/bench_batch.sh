@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerates BENCH_batch.json: the batched-inference throughput baseline.
+#
+# The sweep times nn.Network.ForwardBatch against the per-state Forward
+# path and the lockstep core.BatchEngine against sequential core.Simplify.
+# Every batched configuration is bit-identical to the single-state path
+# (the check harness and internal/core tests enforce this), so the file
+# records throughput only; the machine block carries the provenance a
+# reader needs to judge the numbers.
+set -e
+cd "$(dirname "$0")/.."
+
+NUM_CPU=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+MAXPROCS="${GOMAXPROCS:-$NUM_CPU}"
+echo "== provenance: num_cpu=$NUM_CPU gomaxprocs=$MAXPROCS =="
+go run ./cmd/rlts-bench -batch -batch-out BENCH_batch.json
+echo "== kernel micro benches (bit-identity + allocation contract) =="
+go test ./internal/nn -run '^$' -bench 'ForwardSingle|ForwardBatch64' -benchmem

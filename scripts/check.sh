@@ -20,6 +20,14 @@ go test -race ./...
 echo "== differential harness (internal/check, CHECK_SCALE=${CHECK_SCALE:-4}) =="
 CHECK_SCALE="${CHECK_SCALE:-4}" go test -race -count=1 ./internal/check
 
+# Batch-engine differential: the lockstep BatchEngine must be bitwise
+# identical to sequential Simplify at every width, both inference modes,
+# over the adversarial generator set — plus the engine/eval equality
+# tests in their home packages. Scaled by the same CHECK_SCALE knob.
+echo "== batch-engine differential (CHECK_SCALE=${CHECK_SCALE:-4}) =="
+CHECK_SCALE="${CHECK_SCALE:-4}" go test -race -count=1 -run 'TestBatchEngineDifferential' ./internal/check
+go test -race -count=1 -run 'TestBatchEngine|TestForwardBatch|TestRunSetBatched' ./internal/core ./internal/nn ./internal/eval
+
 # One iteration per obs benchmark: catches compile errors and gross
 # regressions (a panicking Observe, an encoder that hangs) without
 # turning the gate into a benchmark run.
