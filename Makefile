@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test check check-diff bench-rollout bench-obs bench-batch
+.PHONY: test check check-diff bench-rollout bench-obs bench-batch bench-fast bench-load
 
 test:
 	$(GO) test ./...
@@ -29,6 +29,18 @@ bench-obs:
 	$(GO) test ./internal/obs -run '^$$' -bench . -benchmem
 
 # Regenerate the batched-inference throughput baseline (BENCH_batch.json):
-# ForwardBatch vs per-state Forward, BatchEngine vs sequential Simplify.
+# ForwardBatch vs per-state Forward, BatchEngine vs sequential Simplify,
+# the exact-vs-fast kernel comparison, per-core scaling and a short
+# sustained-load pair.
 bench-batch:
 	sh scripts/bench_batch.sh
+
+# FastMath kernel micro benches: FastTanh vs math.Tanh and the fused
+# batch forward against the exact batched kernel.
+bench-fast:
+	$(GO) test ./internal/nn -run '^$$' -bench 'FastTanh|MathTanh|ForwardBatch64' -benchmem
+
+# Sustained-load serving benchmark (exact + fastmath), 10s per mode;
+# LOAD_DURATION overrides.
+bench-load:
+	sh scripts/bench_load.sh

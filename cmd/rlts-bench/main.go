@@ -35,12 +35,30 @@ func main() {
 		batch   = flag.Bool("batch", false, "run the batched-inference throughput sweep instead of an experiment")
 		batchTo = flag.String("batch-out", "", "write the -batch sweep as JSON to this file (default: stdout)")
 		batchW  = flag.Int("batch-width", 0, "evaluate trained policies through the lockstep batch engine in shards of this many trajectories (0 = per-trajectory; results identical either way)")
+		fastK   = flag.Bool("fast", false, "evaluate trained policies on the FastMath kernels (bounded approximation, see DESIGN.md §13)")
+		load    = flag.Bool("load", false, "run the sustained-load serving benchmark instead of an experiment")
+		loadDur = flag.Duration("load-duration", 10*time.Second, "sustained-load measurement window")
+		loadCC  = flag.Int("load-conc", 0, "sustained-load concurrent clients (0 = 4*GOMAXPROCS)")
+		loadIt  = flag.Int("load-items", 64, "trajectories per sustained-load batch request")
+		loadPts = flag.Int("load-points", 100, "points per sustained-load trajectory")
+		loadFst = flag.Bool("load-fast", false, "sustained-load clients request the FastMath kernels (?fast=1)")
+		loadTo  = flag.String("load-out", "", "write the -load summary as JSON to this file (default: stdout)")
 	)
 	flag.Parse()
 	logger := obs.CommandLogger(os.Stderr, "rlts-bench", *verbose, *logJSON)
 
 	if *batch {
 		if err := runBatchSweep(*batchTo, *seed); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *load {
+		err := runLoadBench(*loadTo, loadConfig{
+			Duration: *loadDur, Conc: *loadCC, Items: *loadIt,
+			Points: *loadPts, Fast: *loadFst, Seed: *seed,
+		})
+		if err != nil {
 			fail(err)
 		}
 		return
@@ -67,6 +85,7 @@ func main() {
 	ctx := eval.NewContext(s, *seed, logSink)
 	ctx.Workers = *workers
 	ctx.BatchWidth = *batchW
+	ctx.FastKernel = *fastK
 
 	exps := eval.Experiments()
 	if *exp != "all" {

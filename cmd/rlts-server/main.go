@@ -44,6 +44,7 @@ func main() {
 		streamTTL  = flag.Duration("stream-ttl", server.DefaultStreamTTL, "evict streaming sessions idle longer than this (negative = never)")
 		maxStreams = flag.Int("max-streams", server.DefaultMaxStreams, "concurrently open streaming sessions before 429 (negative = unlimited)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		noFast     = flag.Bool("disable-fast", false, "refuse ?fast=1 FastMath kernels; every request runs exact")
 		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		verbose    = flag.Bool("v", false, "log every request (Debug level)")
 	)
@@ -68,6 +69,7 @@ func main() {
 		StreamTTL:      *streamTTL,
 		MaxStreams:     *maxStreams,
 		EnablePprof:    *pprofOn,
+		DisableFast:    *noFast,
 		Logger:         logger,
 	}
 	sv := server.NewWith(policies, cfg)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"rlts/internal/nn"
 	"rlts/internal/rl"
 	"rlts/internal/traj"
 )
@@ -90,10 +91,20 @@ func NewBatchEngine(p *rl.Policy, opts Options, sample bool) (*BatchEngine, erro
 // NewBatchEngine returns a batch engine over a clone of the trained
 // policy (safe to use alongside the original) in the variant's inference
 // mode: sampled for the online variant, greedy argmax for the batch
-// variants — the same convention as Trained.Simplify.
+// variants — the same convention as Trained.Simplify. The clone inherits
+// the policy's kernel selection, so an engine built from a FastClone
+// runs the FastMath kernels.
 func (tr *Trained) NewBatchEngine() (*BatchEngine, error) {
 	return NewBatchEngine(tr.Policy.Clone(), tr.Opts, tr.Opts.Variant == Online)
 }
+
+// SetKernel selects the inference kernel of the engine's policy:
+// nn.KernelExact keeps the bit-identity contract above; nn.KernelFast
+// trades it for the fused approximate kernels, whose divergence is
+// bounded by the tolerance pillar in internal/check (argmax decisions
+// never change on the adversarial families, so greedy results remain
+// equal in practice — but the proof weakens from bitwise to measured).
+func (e *BatchEngine) SetKernel(k nn.Kernel) { e.p.SetKernel(k) }
 
 // Run simplifies every item and returns one result per item, in order.
 func (e *BatchEngine) Run(items []BatchItem) []BatchResult {

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"rlts/internal/rl"
+	"rlts/internal/traj"
+)
+
+// DecisionTrace records every policy decision of one greedy simplification
+// run: the state the policy saw, the legal-action mask, the action the
+// argmax chose, and the final kept indices. The FastMath tolerance pillar
+// in internal/check replays the states through exact and fast kernels and
+// compares distributions and argmax decisions on real decision-state
+// inputs rather than synthetic vectors.
+type DecisionTrace struct {
+	// States holds len(Actions) row-major state rows of StateSize width.
+	States []float64
+	// Masks holds one legal-action mask per decision. Entries alias
+	// nothing — each mask is an independent copy.
+	Masks [][]bool
+	// Actions holds the greedy action taken at each decision.
+	Actions []int
+	// Kept holds the simplification result (kept original indices).
+	Kept []int
+	// StateSize and NumActions record the row widths of States and Masks.
+	StateSize, NumActions int
+}
+
+// TraceGreedy runs a greedy (argmax) simplification of t with budget w and
+// returns the full decision trace. The kept indices are identical to
+// Simplify(p, t, w, opts, false, nil) — the trace only copies out what the
+// sequential loop already computes. Intended for differential testing and
+// debugging, not hot paths: every state and mask is copied.
+func TraceGreedy(p *rl.Policy, t traj.Trajectory, w int, opts Options) (*DecisionTrace, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if w < 2 {
+		return nil, fmt.Errorf("core: budget W must be >= 2, got %d", w)
+	}
+	if len(t) < 2 {
+		return nil, traj.ErrTooShort
+	}
+	if p.Spec.In != opts.StateSize() || p.Spec.Out != opts.NumActions() {
+		return nil, fmt.Errorf("core: policy shape (%d in, %d out) does not match options %s (k=%d, J=%d: want %d in, %d out)",
+			p.Spec.In, p.Spec.Out, opts.Name(), opts.K, opts.J, opts.StateSize(), opts.NumActions())
+	}
+	tr := &DecisionTrace{StateSize: opts.StateSize(), NumActions: opts.NumActions()}
+	env := newEnv(t, w, opts, false)
+	state, mask, done := env.Reset()
+	for !done {
+		tr.States = append(tr.States, state...)
+		tr.Masks = append(tr.Masks, append([]bool(nil), mask...))
+		a := p.Act(state, mask, false, nil)
+		tr.Actions = append(tr.Actions, a)
+		state, mask, _, done = env.Step(a)
+	}
+	tr.Kept = env.Kept()
+	return tr, nil
+}

@@ -196,6 +196,18 @@ func (tr *Trained) SimplifyGreedyCtx(ctx context.Context, t traj.Trajectory, w i
 	return SimplifyCtx(ctx, tr.Policy, t, w, tr.Opts, false, nil)
 }
 
+// FastClone returns an independent copy of the trained policy with the
+// FastMath inference kernel selected (nn.KernelFast): fused approximate
+// forwards with the bounded divergence contract of nn/fastmath.go and
+// DESIGN.md §13. The original is untouched and stays exact. Serving and
+// eval build their fast paths from FastClones so the exact default can
+// never be contaminated.
+func (tr *Trained) FastClone() *Trained {
+	p := tr.Policy.Clone()
+	p.SetKernel(nn.KernelFast)
+	return &Trained{Opts: tr.Opts, Policy: p}
+}
+
 // savedTrained is the JSON wire format of a Trained policy.
 type savedTrained struct {
 	Measure string          `json:"measure"`

@@ -117,6 +117,11 @@ func RunSetBatched(tr *core.Trained, data []traj.Trajectory, wRatio float64, m e
 // are identical either way (see RunSetBatched); the choice only moves
 // where the inference cycles are spent.
 func (c *Context) runSetPolicy(tr *core.Trained, data []traj.Trajectory, wRatio float64, m errm.Measure) (MeasureResult, error) {
+	if c.FastKernel {
+		// Engine/worker clones inherit the fast kernel from the clone's
+		// policy, so the whole evaluation below runs the FastMath path.
+		tr = tr.FastClone()
+	}
 	if c.BatchWidth > 0 {
 		return RunSetBatched(tr, data, wRatio, m, c.Seed, c.BatchWidth, c.Workers)
 	}

@@ -134,6 +134,13 @@ type Context struct {
 	// errors are identical at every width (see RunSetBatched); timing
 	// reflects the batched execution.
 	BatchWidth int
+	// FastKernel, when set, evaluates trained policies on their FastMath
+	// clones (core.Trained.FastClone): fused approximate kernels with the
+	// measured divergence bounds of DESIGN.md §13. Baselines are
+	// unaffected. Reported errors may differ from exact evaluation within
+	// those bounds (in practice they match: argmax decisions are stable
+	// across the adversarial families).
+	FastKernel bool
 
 	policies map[string]*core.Trained
 	datasets map[string][]traj.Trajectory

@@ -29,10 +29,16 @@ import "math"
 // layers and returns the logits as b row-major output rows. The returned
 // slice is network-owned scratch, valid until the next ForwardBatch call;
 // after warm-up the call allocates nothing. Each output row is
-// bit-identical to Forward(row, false) on the same network.
+// bit-identical to Forward(row, false) on the same network — under
+// KernelExact via the exact kernels below, under KernelFast because both
+// paths run the very same fused kernels (see fastmath.go).
 func (n *Network) ForwardBatch(x []float64, b int) []float64 {
 	if b <= 0 {
 		panic("nn: ForwardBatch with non-positive batch size")
+	}
+	if n.kernel == KernelFast {
+		n.fastPass = true
+		return n.forwardBatchFast(x, b)
 	}
 	cur := x
 	for i, l := range n.Layers {

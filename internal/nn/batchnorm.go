@@ -28,6 +28,8 @@ type BatchNorm struct {
 	out      []float64 // reused across Forward calls
 	gin      []float64 // reused across Backward calls
 	den      []float64 // per-feature sqrt(Var+Eps) scratch for ForwardBatch
+	fscale   []float64 // folded affine scale scratch for the fused fast kernel
+	fshift   []float64 // folded affine shift scratch for the fused fast kernel
 	inited   bool
 }
 

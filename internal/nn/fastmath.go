@@ -1,0 +1,388 @@
+package nn
+
+import "math"
+
+// FastMath inference kernels. The exact inference paths (Forward,
+// ForwardBatch with KernelExact) are bit-identical to the single-sample
+// training forward, which caps their speed: math.Tanh alone is roughly
+// half the forward cost at the paper's 20-unit policy, and the
+// bit-identity contract (batch.go) forbids approximating it or fusing
+// the Dense/BatchNorm/activation row traversals. KernelFast is the
+// explicit, opt-in relaxation of that contract:
+//
+//   - math.Tanh is replaced by FastTanh, a rational approximation with a
+//     published maximum absolute error (FastTanhMaxAbsError);
+//   - the frozen-BatchNorm normalization (x-mean)/sqrt(Var+Eps) followed
+//     by gamma*nv+beta is algebraically folded into a per-feature
+//     scale/shift pair and from there all the way into the Dense weights
+//     and bias, so the matmul pass carries no affine work at all; the
+//     activation then runs once over the cache-hot logits matrix. Two
+//     traversals where the exact path makes three (plus a divide per
+//     element), at the cost of reassociating the float64 operations.
+//
+// The divergence this buys is measured, not hoped: the tolerance pillar
+// in internal/check bounds the probability error of the fast path
+// against the exact path over every adversarial generator family and
+// asserts that greedy (argmax) decisions never change — the invariant
+// production callers actually rely on (DESIGN.md §13).
+//
+// KernelFast is inference-only. The fast forwards populate none of the
+// layer caches Backward consumes, so Network.Backward panics after a
+// fast forward rather than silently computing garbage gradients.
+// Training code never selects it; serving sets it on dedicated policy
+// clones (core.Trained.FastClone).
+
+// Kernel selects the arithmetic contract of a network's inference
+// forwards.
+type Kernel int
+
+const (
+	// KernelExact is the default: every inference forward (vector or
+	// batch) is bit-identical to the single-sample training forward.
+	KernelExact Kernel = iota
+	// KernelFast selects the fused approximate inference kernels: tanh
+	// via FastTanh, Dense+BatchNorm+activation fused into one traversal.
+	// Outputs carry a bounded approximation error; see the package notes
+	// above and DESIGN.md §13.
+	KernelFast
+)
+
+// String names the kernel for bench/serving provenance.
+func (k Kernel) String() string {
+	if k == KernelFast {
+		return "fast"
+	}
+	return "exact"
+}
+
+// SetKernel selects the inference kernel for this network. KernelExact
+// (the default) keeps every inference forward bit-identical to the
+// training forward; KernelFast enables the fused approximate kernels.
+// Training-mode forwards (train=true) always run exact.
+func (n *Network) SetKernel(k Kernel) { n.kernel = k }
+
+// Kernel reports the selected inference kernel.
+func (n *Network) Kernel() Kernel { return n.kernel }
+
+// Contract constants of the FastMath kernels, asserted continuously by
+// internal/nn's dense-sweep test and internal/check's tolerance pillar.
+// They are published bounds with margin over the measured worst case,
+// not the measured values themselves (measured: tanh 4.4e-8 over a
+// 4M-point sweep of [-20, 20]; probs abs 1.1e-7 and rel 1.3e-6 over the
+// adversarial families at the harness seeds).
+const (
+	// FastTanhMaxAbsError bounds |FastTanh(x) - math.Tanh(x)| over all
+	// finite x.
+	FastTanhMaxAbsError = 1e-7
+	// FastProbsMaxAbsError bounds the absolute error of any probability
+	// produced by a KernelFast ProbsBatch/Probs against the exact path
+	// on the same state, for the policy shapes this system trains
+	// (paper-scale MLPs; the bound scales with the L1 norm of the output
+	// layer rows, see DESIGN.md §13).
+	FastProbsMaxAbsError = 1e-5
+	// FastProbsMaxRelError bounds the relative error of any such
+	// probability (equivalently ~FastProbsMaxRelError/epsilon ULPs: the
+	// ULP distance of two positive float64s within relative distance r
+	// is at most r/2^-52 plus one). Probabilities below
+	// FastProbsRelFloor are exempt — softmax tails lose absolute
+	// precision faster than any approximation contract can promise.
+	FastProbsMaxRelError = 1e-4
+	// FastProbsRelFloor is the probability magnitude below which only
+	// the absolute bound applies.
+	FastProbsRelFloor = 1e-9
+)
+
+// fastTanhSat is the |x| beyond which FastTanh returns exactly ±1.
+// tanh(20) = 1 - ~8.2e-18, which rounds to 1.0 in float64, so the
+// saturation is not merely within tolerance — it matches math.Tanh's own
+// rounded value.
+const fastTanhSat = 20
+
+// fastTanhClamp is the fit boundary of the rational approximation:
+// inputs beyond it are clamped, which costs at most 1-tanh(9) ~ 3.1e-8
+// of absolute error — under the published bound.
+const fastTanhClamp = 9
+
+// Coefficients of the odd 13/6-degree rational minimax fit of tanh on
+// [-9, 9] — the classic coefficient set used by Eigen's and XLA's fast
+// tanh kernels. The fit targets ~1e-8 absolute error; evaluated in
+// float64 the fit error dominates rounding.
+const (
+	tanhA1  = 4.89352455891786e-03
+	tanhA3  = 6.37261928875436e-04
+	tanhA5  = 1.48572235717979e-05
+	tanhA7  = 5.12229709037114e-08
+	tanhA9  = -8.60467152213735e-11
+	tanhA11 = 2.00018790482477e-13
+	tanhA13 = -2.76076847742355e-16
+	tanhB0  = 4.89352518554385e-03
+	tanhB2  = 2.26843463243900e-03
+	tanhB4  = 1.18534705686654e-04
+	tanhB6  = 1.19825839466702e-06
+)
+
+// FastTanh approximates math.Tanh with |error| <= FastTanhMaxAbsError
+// for every finite input, at a fraction of the cost (no exp, no
+// branching beyond range checks). Totality contract: NaN propagates,
+// ±Inf and every |x| >= 20 return exactly ±1, ±0 return ±0, denormal
+// inputs neither trap nor produce error above the bound, and
+// FastTanh(-x) == -FastTanh(x) exactly (the rational form is odd and
+// the clamps are symmetric).
+func FastTanh(x float64) float64 {
+	if x != x { // NaN
+		return x
+	}
+	if x >= fastTanhSat {
+		return 1
+	}
+	if x <= -fastTanhSat {
+		return -1
+	}
+	if x > fastTanhClamp {
+		x = fastTanhClamp
+	} else if x < -fastTanhClamp {
+		x = -fastTanhClamp
+	}
+	x2 := x * x
+	p := x * (tanhA1 + x2*(tanhA3+x2*(tanhA5+x2*(tanhA7+x2*(tanhA9+x2*(tanhA11+x2*tanhA13))))))
+	q := tanhB0 + x2*(tanhB2+x2*(tanhB4+x2*tanhB6))
+	return p / q
+}
+
+// fusedAct names the activation folded into a fused Dense kernel.
+type fusedAct int
+
+const (
+	actNone fusedAct = iota
+	actTanh
+	actReLU
+)
+
+// forwardBatchFast is the KernelFast batch forward: it walks the layer
+// stack fusing every Dense [+ BatchNorm] [+ Tanh/ReLU] run into a single
+// traversal of the output matrix. Layers outside that pattern (none are
+// produced by NewMLP, but the Layer interface admits them) fall back to
+// their exact batched kernel, so fast mode is never slower than exact on
+// a foreign stack. Scratch discipline mirrors ForwardBatch: ping-pong
+// between the two network-owned buffers, zero allocations after warm-up.
+func (n *Network) forwardBatchFast(x []float64, b int) []float64 {
+	cur := x
+	which := 0
+	for i := 0; i < len(n.Layers); {
+		d, ok := n.Layers[i].(*Dense)
+		if !ok {
+			l := n.Layers[i]
+			dst := n.fastScratch(which, b*l.OutSize())
+			l.ForwardBatch(dst, cur, b)
+			cur = dst
+			which ^= 1
+			i++
+			continue
+		}
+		j := i + 1
+		var bn *BatchNorm
+		if j < len(n.Layers) {
+			if v, ok := n.Layers[j].(*BatchNorm); ok {
+				bn = v
+				j++
+			}
+		}
+		act := actNone
+		if j < len(n.Layers) {
+			switch n.Layers[j].(type) {
+			case *Tanh:
+				act = actTanh
+				j++
+			case *ReLU:
+				act = actReLU
+				j++
+			}
+		}
+		dst := n.fastScratch(which, b*d.Out)
+		d.forwardBatchFused(dst, cur, b, bn, act)
+		cur = dst
+		which ^= 1
+		i = j
+	}
+	return cur
+}
+
+// fastScratch returns one of the two ping-pong scratch matrices resized
+// to need, growing its backing array on demand.
+func (n *Network) fastScratch(which, need int) []float64 {
+	buf := n.batchBuf[which]
+	if cap(buf) < need {
+		buf = make([]float64, need)
+		n.batchBuf[which] = buf
+	}
+	return buf[:need]
+}
+
+// forwardBatchFused computes dst = act(scale*(x*W^T + bias) + shift) in
+// two passes instead of the exact path's three-plus (Dense write,
+// BatchNorm divide/read/write, activation read/write, with math.Tanh
+// calls): the batch-norm affine is folded all the way into a private
+// folded copy of the weights and bias (foldedWeights), so the matmul
+// pass carries literally zero extra work over a plain Dense matmul;
+// then the activation runs once over the whole still-cache-hot logits
+// matrix via the open-coded fastTanhVec. Both loops are kept free of
+// opaque function calls (a call in the inner loop forces the
+// accumulator and slice headers out of registers, measured at ~2x on
+// the dense part alone). The in==3 case — the paper's state size, every
+// serving hidden layer — is specialized: the three input features live
+// in registers across the whole row sweep and the weight matrix is
+// scanned linearly with no inner loop.
+func (d *Dense) forwardBatchFused(dst, x []float64, b int, bn *BatchNorm, act fusedAct) {
+	checkLen("Dense fused input", len(x), b*d.In)
+	checkLen("Dense fused dst", len(dst), b*d.Out)
+	w, bias := d.W.Val, d.B.Val
+	if bn != nil {
+		checkLen("Dense fused batch-norm", bn.size, d.Out)
+		scale, shift := bn.foldedAffine()
+		w, bias = d.foldedWeights(scale, shift)
+	}
+	in, out := d.In, d.Out
+	if in == 3 {
+		for r := 0; r < b; r++ {
+			x0, x1, x2 := x[r*3], x[r*3+1], x[r*3+2]
+			yr := dst[r*out : (r+1)*out]
+			for o := range yr {
+				row := w[o*3 : o*3+3]
+				yr[o] = bias[o] + row[0]*x0 + row[1]*x1 + row[2]*x2
+			}
+		}
+	} else {
+		// Register-blocked over four outputs: the exact kernel's single
+		// accumulator is a loop-carried add chain (~4 cycles/element on
+		// scalar hardware); four independent chains sharing each x load
+		// keep the FP units busy and quarter the x reloads.
+		for r := 0; r < b; r++ {
+			xr := x[r*in : (r+1)*in]
+			yr := dst[r*out : (r+1)*out]
+			o := 0
+			for ; o+4 <= out; o += 4 {
+				r0 := w[(o+0)*in : (o+1)*in]
+				r1 := w[(o+1)*in : (o+2)*in]
+				r2 := w[(o+2)*in : (o+3)*in]
+				r3 := w[(o+3)*in : (o+4)*in]
+				s0, s1, s2, s3 := bias[o], bias[o+1], bias[o+2], bias[o+3]
+				for i, xi := range xr {
+					s0 += r0[i] * xi
+					s1 += r1[i] * xi
+					s2 += r2[i] * xi
+					s3 += r3[i] * xi
+				}
+				yr[o], yr[o+1], yr[o+2], yr[o+3] = s0, s1, s2, s3
+			}
+			for ; o < out; o++ {
+				row := w[o*in : (o+1)*in]
+				s := bias[o]
+				for i, xi := range xr {
+					s += row[i] * xi
+				}
+				yr[o] = s
+			}
+		}
+	}
+	switch act {
+	case actTanh:
+		fastTanhVec(dst)
+	case actReLU:
+		for o, v := range dst {
+			if !(v > 0) { // mirrors the exact kernel: -0 and NaN map to 0
+				dst[o] = 0
+			}
+		}
+	}
+}
+
+// foldedWeights folds a batch-norm scale/shift pair all the way into the
+// weight matrix and bias:
+//
+//	scale*(W*x + b) + shift  ==  W'*x + b'
+//	W'[o][i] = W[o][i]*scale[o],  b'[o] = b[o]*scale[o] + shift[o]
+//
+// so the fused matmul loop is a plain Dense matmul with no per-output
+// affine work. The fold costs out*(in+1) multiplies per batch — noise
+// next to the b*out*in matmul — and is recomputed every batch like
+// foldedAffine, so stale statistics are impossible. The scratch is
+// layer-private (clones build fresh layers) and reused: zero
+// allocations after warm-up. Folding reassociates the float64 ops (the
+// scale multiplies distribute into each product); the divergence is
+// covered by the same measured contract as the rest of the fast path.
+func (d *Dense) foldedWeights(scale, shift []float64) (w, b []float64) {
+	if d.fw == nil {
+		d.fw = make([]float64, len(d.W.Val))
+		d.fb = make([]float64, d.Out)
+	}
+	in := d.In
+	for o := 0; o < d.Out; o++ {
+		s := scale[o]
+		row := d.W.Val[o*in : (o+1)*in]
+		frow := d.fw[o*in : (o+1)*in]
+		for i, v := range row {
+			frow[i] = v * s
+		}
+		d.fb[o] = d.B.Val[o]*s + shift[o]
+	}
+	return d.fw, d.fb
+}
+
+// fastTanhVec applies FastTanh element-wise in place. The rational
+// evaluation is open-coded so the hot loop carries no per-element call
+// overhead and the coefficients stay in registers;
+// TestFastTanhVecMatchesScalar pins it to FastTanh bit for bit.
+func fastTanhVec(v []float64) {
+	for i, x := range v {
+		if x != x { // NaN passes through
+			continue
+		}
+		if x >= fastTanhSat {
+			v[i] = 1
+			continue
+		}
+		if x <= -fastTanhSat {
+			v[i] = -1
+			continue
+		}
+		if x > fastTanhClamp {
+			x = fastTanhClamp
+		} else if x < -fastTanhClamp {
+			x = -fastTanhClamp
+		}
+		x2 := x * x
+		p := x * (tanhA1 + x2*(tanhA3+x2*(tanhA5+x2*(tanhA7+x2*(tanhA9+x2*(tanhA11+x2*tanhA13))))))
+		q := tanhB0 + x2*(tanhB2+x2*(tanhB4+x2*tanhB6))
+		v[i] = p / q
+	}
+}
+
+// foldedAffine folds the frozen normalization and the affine transform
+// into one per-feature scale/shift pair:
+//
+//	gamma*(x-mean)/sqrt(Var+Eps) + beta  ==  x*scale + shift
+//	scale = gamma/sqrt(Var+Eps),  shift = beta - mean*scale
+//
+// Recomputed per batch like the exact path's den cache, so stale
+// statistics are impossible; the division happens once per feature per
+// batch instead of once per element.
+func (bn *BatchNorm) foldedAffine() (scale, shift []float64) {
+	if bn.fscale == nil {
+		bn.fscale = make([]float64, bn.size)
+		bn.fshift = make([]float64, bn.size)
+	}
+	for i := range bn.fscale {
+		s := bn.Gamma.Val[i] / math.Sqrt(bn.Var[i]+bn.Eps)
+		bn.fscale[i] = s
+		bn.fshift[i] = bn.Beta.Val[i] - bn.Mean[i]*s
+	}
+	return bn.fscale, bn.fshift
+}
+
+// forwardFast is the KernelFast vector forward: the b=1 case of
+// forwardBatchFast, reusing the same fused kernels and scratch. It
+// populates none of the caches Backward needs, so the caller (Forward)
+// marks the network fast-dirty first.
+func (n *Network) forwardFast(x []float64) []float64 {
+	return n.forwardBatchFast(x, 1)
+}

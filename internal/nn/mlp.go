@@ -124,12 +124,15 @@ func LoadMLP(r io.Reader) (MLPSpec, *Network, error) {
 }
 
 // CloneMLP deep-copies a network built by NewMLP (used to snapshot the
-// best policy seen during training).
+// best policy seen during training). The clone inherits the source's
+// kernel selection, so fast-kernel serving clones stay fast through
+// pool refills and worker fan-out.
 func CloneMLP(spec MLPSpec, net *Network) *Network {
 	c, err := NewMLP(spec, rand.New(rand.NewSource(0)))
 	if err != nil {
 		panic(err) // spec was already validated when net was built
 	}
+	c.kernel = net.kernel
 	src, dst := net.Params(), c.Params()
 	for i := range src {
 		copy(dst[i].Val, src[i].Val)

@@ -53,11 +53,20 @@ type Network struct {
 	params    []*Param     // lazily built flat view of all layer parameters
 	normDepth int          // 1 + index of last BatchNorm layer; 0 = unknown, -1 = none
 	batchBuf  [2][]float64 // ping-pong scratch matrices for ForwardBatch
+	kernel    Kernel       // inference kernel selection; see fastmath.go
+	fastPass  bool         // last forward ran the fast kernel: Backward must refuse
 }
 
 // Forward runs x through all layers. train selects training-time behaviour
-// (e.g. batch-norm statistics updates).
+// (e.g. batch-norm statistics updates). Inference forwards (train=false)
+// honor the selected kernel: with KernelFast they run the fused
+// approximate path (see fastmath.go) and leave no caches for Backward.
 func (n *Network) Forward(x []float64, train bool) []float64 {
+	if !train && n.kernel == KernelFast {
+		n.fastPass = true
+		return n.forwardFast(x)
+	}
+	n.fastPass = false
 	for _, l := range n.Layers {
 		x = l.Forward(x, train)
 	}
@@ -65,8 +74,14 @@ func (n *Network) Forward(x []float64, train bool) []float64 {
 }
 
 // Backward propagates the gradient of the loss w.r.t. the network output
-// back through all layers, accumulating parameter gradients.
+// back through all layers, accumulating parameter gradients. It refuses
+// to run after a KernelFast forward: the fast kernels populate none of
+// the layer caches Backward consumes, so the gradients would be silently
+// wrong rather than approximate.
 func (n *Network) Backward(grad []float64) {
+	if n.fastPass {
+		panic("nn: Backward after a KernelFast forward (fast kernels are inference-only)")
+	}
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		grad = n.Layers[i].Backward(grad)
 	}

@@ -106,10 +106,22 @@ func (p *Policy) Act(state []float64, mask []bool, sample bool, r *rand.Rand) in
 	return GreedyAction(probs)
 }
 
-// Clone returns an independent deep copy of the policy.
+// Clone returns an independent deep copy of the policy, inheriting the
+// source's inference-kernel selection (nn.CloneMLP carries it over).
 func (p *Policy) Clone() *Policy {
 	return &Policy{Spec: p.Spec, Net: nn.CloneMLP(p.Spec, p.Net)}
 }
+
+// SetKernel selects the inference kernel of the policy network:
+// nn.KernelExact (the default, bit-identical to training forwards) or
+// nn.KernelFast (fused approximate kernels with the bounded error
+// contract of nn/fastmath.go). Fast policies are inference-only — the
+// network panics on Backward after a fast forward — so training code
+// must never select it.
+func (p *Policy) SetKernel(k nn.Kernel) { p.Net.SetKernel(k) }
+
+// Kernel reports the policy network's inference-kernel selection.
+func (p *Policy) Kernel() nn.Kernel { return p.Net.Kernel() }
 
 // Save writes the policy to w in the nn JSON format.
 func (p *Policy) Save(w io.Writer) error { return nn.SaveMLP(w, p.Spec, p.Net) }

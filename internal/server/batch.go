@@ -75,6 +75,7 @@ type batchItemResult struct {
 
 type batchResponse struct {
 	Algorithm string            `json:"algorithm"`
+	Mode      string            `json:"mode"` // "exact" or "fast" — the kernels that ran
 	Failed    int               `json:"failed"`
 	Items     []batchItemResult `json:"items"`
 }
@@ -201,12 +202,23 @@ func (s *Server) handleSimplifyBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	p, ok := s.policies[strings.ToLower(req.Algorithm+"/"+m.String())]
+	key := strings.ToLower(req.Algorithm + "/" + m.String())
+	p, ok := s.policies[key]
 	if !ok {
 		httpError(w, http.StatusBadRequest, codeUnknownAlgorithm,
 			"batch simplification serves trained policies only; no policy for algorithm %q with measure %s",
 			req.Algorithm, m)
 		return
+	}
+	// FastMath opt-in: swap in the fast registry entry. The engine pools
+	// key on the *core.Trained pointer, so fast and exact requests draw
+	// from disjoint pools and an engine never changes kernels mid-life.
+	mode := modeExact
+	if fastRequested(r) {
+		if fp, ok := s.fast[key]; ok {
+			p, mode = fp, modeFast
+			s.fastReq.Inc()
+		}
 	}
 	met := s.batch.met
 	met.requests.Inc()
@@ -316,7 +328,7 @@ func (s *Server) handleSimplifyBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	met.failures.Add(uint64(failed))
-	writeJSON(w, &batchResponse{Algorithm: p.Opts.Name(), Failed: failed, Items: results})
+	writeJSON(w, &batchResponse{Algorithm: p.Opts.Name(), Mode: mode, Failed: failed, Items: results})
 }
 
 // errFmt is fmt.Sprintf under a name that keeps the failure-construction

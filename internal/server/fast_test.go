@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"rlts/internal/gen"
+	"rlts/internal/obs"
+)
+
+// TestSimplifyFastMode: ?fast=1 on POST /v1/simplify runs the FastMath
+// kernels (mode "fast"), keeps the same indices as the exact path (the
+// argmax-stability contract of DESIGN.md §13), and bumps the
+// rlts_fast_requests_total counter; a plain request stays exact.
+func TestSimplifyFastMode(t *testing.T) {
+	trained := trainSmall(t)
+	reg := obs.NewRegistry()
+	srv := batchServer(t, trained, Config{Metrics: reg})
+	tr := gen.New(gen.Truck(), 99).Trajectory(80)
+	req := map[string]interface{}{
+		"algorithm": "rlts+", "measure": "SED", "w": 12, "points": points(tr),
+	}
+
+	resp, body := post(t, srv.URL+"/v1/simplify", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("exact status %d: %s", resp.StatusCode, body)
+	}
+	var exact simplifyResponse
+	if err := json.Unmarshal(body, &exact); err != nil {
+		t.Fatal(err)
+	}
+	if exact.Mode != modeExact {
+		t.Fatalf("plain request mode = %q, want %q", exact.Mode, modeExact)
+	}
+
+	resp, body = post(t, srv.URL+"/v1/simplify?fast=1", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("fast status %d: %s", resp.StatusCode, body)
+	}
+	var fast simplifyResponse
+	if err := json.Unmarshal(body, &fast); err != nil {
+		t.Fatal(err)
+	}
+	if fast.Mode != modeFast {
+		t.Fatalf("?fast=1 mode = %q, want %q", fast.Mode, modeFast)
+	}
+	if fast.Kept != exact.Kept || fast.Of != exact.Of || !reflect.DeepEqual(fast.Points, exact.Points) {
+		t.Fatalf("fast result diverged from exact: fast kept %d/%d, exact %d/%d",
+			fast.Kept, fast.Of, exact.Kept, exact.Of)
+	}
+	if fast.Error != exact.Error {
+		t.Fatalf("fast error %g != exact %g", fast.Error, exact.Error)
+	}
+
+	if got := counterValue(t, srv.URL, "rlts_fast_requests_total"); got != 1 {
+		t.Fatalf("rlts_fast_requests_total = %g, want 1", got)
+	}
+}
+
+// TestSimplifyBatchFastMode: the batch endpoint honors ?fast=1 with the
+// same contract — mode "fast", item results identical to the exact batch.
+func TestSimplifyBatchFastMode(t *testing.T) {
+	trained := trainSmall(t)
+	srv := batchServer(t, trained, Config{Metrics: obs.NewRegistry(), BatchWidth: 3})
+	items := make([]map[string]interface{}, 0, 6)
+	for _, tr := range batchTrajs(6) {
+		items = append(items, map[string]interface{}{"points": points(tr)})
+	}
+	req := map[string]interface{}{
+		"algorithm": "rlts+", "measure": "SED", "w": 10, "items": items,
+	}
+
+	var exact, fast batchResponse
+	for _, q := range []struct {
+		url string
+		out *batchResponse
+	}{
+		{srv.URL + "/v1/simplify/batch", &exact},
+		{srv.URL + "/v1/simplify/batch?fast=true", &fast},
+	} {
+		resp, body := post(t, q.url, req)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s status %d: %s", q.url, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, q.out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if exact.Mode != modeExact || fast.Mode != modeFast {
+		t.Fatalf("modes = %q / %q, want exact / fast", exact.Mode, fast.Mode)
+	}
+	if exact.Failed != 0 || fast.Failed != 0 {
+		t.Fatalf("failures: exact %d, fast %d", exact.Failed, fast.Failed)
+	}
+	if !reflect.DeepEqual(exact.Items, fast.Items) {
+		t.Fatalf("fast batch items diverged from exact")
+	}
+}
+
+// TestFastModeEdges pins the fall-back shapes: a baseline algorithm has no
+// fast variant (mode stays "exact" under ?fast=1), and Config.DisableFast
+// turns ?fast=1 into an exact run rather than an error.
+func TestFastModeEdges(t *testing.T) {
+	trained := trainSmall(t)
+	srv := batchServer(t, trained, Config{Metrics: obs.NewRegistry(), DisableFast: true})
+	tr := gen.New(gen.Truck(), 7).Trajectory(50)
+
+	for _, algo := range []string{"rlts+", "bottom-up"} {
+		resp, body := post(t, srv.URL+"/v1/simplify?fast=1", map[string]interface{}{
+			"algorithm": algo, "measure": "SED", "w": 10, "points": points(tr),
+		})
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s status %d: %s", algo, resp.StatusCode, body)
+		}
+		var out simplifyResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Mode != modeExact {
+			t.Fatalf("%s with DisableFast: mode = %q, want %q", algo, out.Mode, modeExact)
+		}
+	}
+	if got := counterValue(t, srv.URL, "rlts_fast_requests_total"); got != 0 {
+		t.Fatalf("rlts_fast_requests_total = %g with DisableFast, want 0", got)
+	}
+}
+
+// counterValue scrapes /metrics and returns the named counter's value
+// (0 when the series has not been written yet).
+func counterValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := obs.Find(samples, name, nil)
+	return v
+}

@@ -86,6 +86,11 @@ type Config struct {
 	// concurrently (each worker owns a policy clone, so results are
 	// identical regardless). 0 means GOMAXPROCS, negative means 1.
 	BatchWorkers int
+	// DisableFast removes the FastMath serving path: no fast policy
+	// registry is built, ?fast=1 requests run the exact kernels, and
+	// responses report mode "exact". For operators who want the bitwise
+	// reproducibility contract with no opt-out, at any request's whim.
+	DisableFast bool
 }
 
 func (c Config) normalized() Config {

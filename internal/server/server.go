@@ -28,8 +28,12 @@
 //
 // and its response:
 //
-//	{"algorithm": "RLTS+", "kept": 50, "of": 500,
+//	{"algorithm": "RLTS+", "mode": "exact", "kept": 50, "of": 500,
 //	 "error": 3.21, "points": [[x, y, t], ...]}
+//
+// POST /v1/simplify and /v1/simplify/batch accept ?fast=1 to run policy
+// inference on the FastMath kernels (see fast.go and DESIGN.md §13); the
+// response's "mode" field reports which kernels actually ran.
 //
 // Failures come back as typed JSON errors — {"error": message, "code":
 // machine-readable-code} — with the conventional status: 400 for invalid
@@ -54,6 +58,7 @@ import (
 	baseOnline "rlts/internal/baseline/online"
 	"rlts/internal/core"
 	"rlts/internal/errm"
+	"rlts/internal/obs"
 	"rlts/internal/traj"
 )
 
@@ -84,6 +89,9 @@ type Server struct {
 	mux      *http.ServeMux
 	cfg      Config
 	policies map[string]*core.Trained // lower-case name -> policy
+	fast     map[string]*core.Trained // FastClones under the same keys (see fast.go)
+	simp     *policyPools
+	fastReq  *obs.Counter
 	streams  *streamManager
 	batch    *batchRunner
 }
@@ -106,6 +114,12 @@ func NewWith(policies []*core.Trained, cfg Config) *Server {
 		key := strings.ToLower(p.Opts.Name() + "/" + p.Opts.Measure.String())
 		s.policies[key] = p
 	}
+	if !s.cfg.DisableFast {
+		s.fast = fastPolicies(s.policies)
+	}
+	s.simp = newPolicyPools()
+	s.fastReq = s.cfg.Metrics.Counter("rlts_fast_requests_total",
+		"Policy runs served with the FastMath kernels (?fast=1)")
 	s.streams = newStreamManager(s.policies, s.cfg)
 	s.batch = newBatchRunner(s.cfg)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -168,6 +182,7 @@ type simplifyRequest struct {
 
 type simplifyResponse struct {
 	Algorithm string       `json:"algorithm"`
+	Mode      string       `json:"mode"` // "exact" or "fast" — the kernels that ran
 	Kept      int          `json:"kept"`
 	Of        int          `json:"of"`
 	Error     float64      `json:"error"`
@@ -260,13 +275,14 @@ func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	name, kept, err := s.run(r.Context(), strings.ToLower(req.Algorithm), t, b, m)
+	name, kept, mode, err := s.run(r.Context(), strings.ToLower(req.Algorithm), t, b, m, fastRequested(r))
 	if err != nil {
 		writeRunError(w, err)
 		return
 	}
 	resp := simplifyResponse{
 		Algorithm: name,
+		Mode:      mode,
 		Kept:      len(kept),
 		Of:        len(t),
 		Error:     errm.Error(m, t, kept),
@@ -293,45 +309,59 @@ func writeRunError(w http.ResponseWriter, err error) {
 	}
 }
 
-// run dispatches to a policy or a baseline. The context cancels the
-// policy scan mid-trajectory; the heuristic baselines run to completion
-// (they are bounded by MaxPoints, and bellman additionally by its own
-// size cap).
-func (s *Server) run(ctx context.Context, algo string, t traj.Trajectory, w int, m errm.Measure) (string, []int, error) {
-	if p, ok := s.policies[strings.ToLower(algo+"/"+m.String())]; ok {
-		kept, err := p.SimplifyGreedyCtx(ctx, t, w)
-		return p.Opts.Name(), kept, err
+// run dispatches to a policy or a baseline, reporting the kernel mode
+// that ran alongside the result. Policies execute on an exclusive pooled
+// clone (the registered instance's forward scratch is not concurrent-safe
+// under MaxConcurrent-way parallelism) — from the fast registry when the
+// request opted in and FastMath is enabled, the exact one otherwise. The
+// context cancels the policy scan mid-trajectory; the heuristic baselines
+// run to completion (they are bounded by MaxPoints, and bellman
+// additionally by its own size cap) and have no fast variant.
+func (s *Server) run(ctx context.Context, algo string, t traj.Trajectory, w int, m errm.Measure, fast bool) (string, []int, string, error) {
+	key := strings.ToLower(algo + "/" + m.String())
+	if p, ok := s.policies[key]; ok {
+		mode := modeExact
+		if fast {
+			if fp, ok := s.fast[key]; ok {
+				p, mode = fp, modeFast
+				s.fastReq.Inc()
+			}
+		}
+		c := s.simp.get(p)
+		kept, err := c.SimplifyGreedyCtx(ctx, t, w)
+		s.simp.put(p, c)
+		return p.Opts.Name(), kept, mode, err
 	}
 	switch algo {
 	case "sttrace":
 		kept, err := baseOnline.STTrace(t, w, m)
-		return "STTrace", kept, err
+		return "STTrace", kept, modeExact, err
 	case "squish":
 		kept, err := baseOnline.SQUISH(t, w, m)
-		return "SQUISH", kept, err
+		return "SQUISH", kept, modeExact, err
 	case "squish-e", "squishe":
 		kept, err := baseOnline.SQUISHE(t, w, m)
-		return "SQUISH-E", kept, err
+		return "SQUISH-E", kept, modeExact, err
 	case "top-down", "topdown":
 		kept, err := baseBatch.TopDown(t, w, m)
-		return "Top-Down", kept, err
+		return "Top-Down", kept, modeExact, err
 	case "bottom-up", "bottomup", "":
 		kept, err := baseBatch.BottomUp(t, w, m)
-		return "Bottom-Up", kept, err
+		return "Bottom-Up", kept, modeExact, err
 	case "bellman":
 		if len(t) > 2000 {
-			return "", nil, fmt.Errorf("server: bellman is cubic; refusing %d points (max 2000)", len(t))
+			return "", nil, modeExact, fmt.Errorf("server: bellman is cubic; refusing %d points (max 2000)", len(t))
 		}
 		kept, err := baseBatch.Bellman(t, w, m)
-		return "Bellman", kept, err
+		return "Bellman", kept, modeExact, err
 	case "span-search", "spansearch":
 		kept, err := baseBatch.SpanSearch(t, w)
-		return "Span-Search", kept, err
+		return "Span-Search", kept, modeExact, err
 	case "uniform":
 		kept, err := baseOnline.Uniform(t, w)
-		return "Uniform", kept, err
+		return "Uniform", kept, modeExact, err
 	}
-	return "", nil, fmt.Errorf("server: unknown algorithm %q (policies need a matching measure)", algo)
+	return "", nil, modeExact, fmt.Errorf("server: unknown algorithm %q (policies need a matching measure)", algo)
 }
 
 type statsResponse struct {

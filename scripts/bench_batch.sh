@@ -13,6 +13,14 @@ cd "$(dirname "$0")/.."
 NUM_CPU=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
 MAXPROCS="${GOMAXPROCS:-$NUM_CPU}"
 echo "== provenance: num_cpu=$NUM_CPU gomaxprocs=$MAXPROCS =="
+if [ "$MAXPROCS" = 1 ]; then
+	echo '########################################################################' >&2
+	echo "# WARNING: GOMAXPROCS=1 (num_cpu=$NUM_CPU)." >&2
+	echo '# Every number this run produces is SINGLE-CORE. Do not publish them' >&2
+	echo '# as multi-core results; the per_core_scaling table in the machine' >&2
+	echo '# block records what was actually measured.' >&2
+	echo '########################################################################' >&2
+fi
 go run ./cmd/rlts-bench -batch -batch-out BENCH_batch.json
-echo "== kernel micro benches (bit-identity + allocation contract) =="
-go test ./internal/nn -run '^$' -bench 'ForwardSingle|ForwardBatch64' -benchmem
+echo "== kernel micro benches (bit-identity + allocation + fastmath contract) =="
+go test ./internal/nn -run '^$' -bench 'ForwardSingle|ForwardBatch64|FastTanh' -benchmem

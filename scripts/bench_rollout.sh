@@ -12,6 +12,13 @@ cd "$(dirname "$0")/.."
 NUM_CPU=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
 MAXPROCS="${GOMAXPROCS:-$NUM_CPU}"
 echo "== provenance: num_cpu=$NUM_CPU gomaxprocs=$MAXPROCS =="
+if [ "$MAXPROCS" = 1 ]; then
+	echo '########################################################################' >&2
+	echo "# WARNING: GOMAXPROCS=1 (num_cpu=$NUM_CPU)." >&2
+	echo '# The workers sweep below is flat by construction on one scheduler' >&2
+	echo '# thread; record these numbers as single-core provenance only.' >&2
+	echo '########################################################################' >&2
+fi
 echo "== TrainParallel =="
 go test . -run xxx -bench BenchmarkTrainParallel -benchmem -benchtime 3x
 echo "== Hot-path allocation benches =="

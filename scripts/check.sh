@@ -28,6 +28,16 @@ echo "== batch-engine differential (CHECK_SCALE=${CHECK_SCALE:-4}) =="
 CHECK_SCALE="${CHECK_SCALE:-4}" go test -race -count=1 -run 'TestBatchEngineDifferential' ./internal/check
 go test -race -count=1 -run 'TestBatchEngine|TestForwardBatch|TestRunSetBatched' ./internal/core ./internal/nn ./internal/eval
 
+# FastMath tolerance pillar: the fused approximate kernels against the
+# exact path on real decision states — abs/rel bounds on every ProbsBatch
+# output, argmax stability on every adversarial family, end-to-end greedy
+# kept-index equality — plus the kernel-level contract tests (dense tanh
+# sweep, special values, fusion tolerance) in internal/nn. Same
+# CHECK_SCALE knob deepens the state coverage.
+echo "== fastmath tolerance pillar (CHECK_SCALE=${CHECK_SCALE:-4}) =="
+CHECK_SCALE="${CHECK_SCALE:-4}" go test -race -count=1 -run 'TestFastMathTolerance|TestFastCloneIsolation' ./internal/check
+go test -race -count=1 -run 'TestFastTanh|TestForwardBatchFast|TestForwardVectorZeroAlloc|TestKernelClone' ./internal/nn
+
 # One iteration per obs benchmark: catches compile errors and gross
 # regressions (a panicking Observe, an encoder that hangs) without
 # turning the gate into a benchmark run.
