@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test check check-diff bench-rollout bench-obs bench-batch bench-fast bench-load
+.PHONY: test check check-diff check-stream bench-rollout bench-obs bench-batch bench-fast bench-load
 
 test:
 	$(GO) test ./...
@@ -12,6 +12,15 @@ test:
 # deeper soak runs (default 1; the gate uses 4).
 check-diff:
 	CHECK_SCALE=$${CHECK_SCALE:-4} $(GO) test -race -count=1 ./internal/check
+
+# Durable session-store pillar: the spill/rehydrate bit-identity
+# differential, the state codec totality tests, and the server-level
+# durability suite (restart, quarantine, injected disk failure, Close vs
+# live traffic), race-enabled. CHECK_SCALE deepens the differential.
+check-stream:
+	CHECK_SCALE=$${CHECK_SCALE:-4} $(GO) test -race -count=1 -run 'TestSpillRehydrateDifferential' ./internal/check
+	$(GO) test -race -count=1 -run 'TestStreamer(Resume|State)|TestDecodeStreamerState|TestResumeStreamer|TestExportRestore|TestRestore' ./internal/core ./internal/buffer
+	$(GO) test -race -count=1 -run 'TestStream|TestServerCloseRacesStreamTraffic' ./internal/server
 
 # Full gate: vet + build + race-detector test run (exercises the parallel
 # trainer and evaluation paths) + a fuzz smoke pass over every fuzz

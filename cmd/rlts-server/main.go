@@ -43,6 +43,9 @@ func main() {
 		drain      = flag.Duration("drain-timeout", server.DefaultDrainTimeout, "how long in-flight requests may finish after SIGTERM")
 		streamTTL  = flag.Duration("stream-ttl", server.DefaultStreamTTL, "evict streaming sessions idle longer than this (negative = never)")
 		maxStreams = flag.Int("max-streams", server.DefaultMaxStreams, "concurrently open streaming sessions before 429 (negative = unlimited)")
+		spillDir   = flag.String("spill-dir", "", "directory for durable session spill; empty = sessions are memory-only")
+		maxHot     = flag.Int("max-hot-sessions", server.DefaultMaxHotSessions, "sessions kept in memory before cold ones spill to -spill-dir (negative = spill only on shutdown)")
+		shards     = flag.Int("shards", server.DefaultStreamShards, "lock shards for the streaming session store")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		noFast     = flag.Bool("disable-fast", false, "refuse ?fast=1 FastMath kernels; every request runs exact")
 		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
@@ -68,6 +71,9 @@ func main() {
 		MaxPoints:      *maxPts,
 		StreamTTL:      *streamTTL,
 		MaxStreams:     *maxStreams,
+		SpillDir:       *spillDir,
+		MaxHotSessions: *maxHot,
+		StreamShards:   *shards,
 		EnablePprof:    *pprofOn,
 		DisableFast:    *noFast,
 		Logger:         logger,
@@ -89,6 +95,14 @@ func main() {
 	if err := server.Serve(ctx, srv, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "rlts-server: %v\n", err)
 		os.Exit(1)
+	}
+	// The listener has drained: no request can touch a session anymore,
+	// so spill them all for the next process to rehydrate.
+	if *spillDir != "" {
+		if err := sv.DrainStreams(); err != nil {
+			logger.Error("spilling sessions on shutdown", "err", err)
+			os.Exit(1)
+		}
 	}
 	logger.Info("drained, bye")
 }

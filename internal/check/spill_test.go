@@ -1,0 +1,102 @@
+package check
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rlts/internal/core"
+	"rlts/internal/errm"
+	"rlts/internal/geo"
+	"rlts/internal/rl"
+)
+
+// Spill/rehydrate differential: a streamer that is serialized through the
+// full binary codec (core.StreamerState — the bytes the server's session
+// store writes to disk) and resumed must continue bit-identically to one
+// that never left memory, no matter where in its life the spill lands.
+// The adversarial cut points are the phase boundaries where the state
+// shape changes: before any push, mid buffer-fill, at the exact fill
+// boundary, mid pending-skip, and (via stride-1 resume) between every
+// single pair of pushes.
+
+// resumeEvery pushes tr into a streamer, spilling and rehydrating through
+// the binary codec every stride pushes. seed reseeds the sampling RNG at
+// every resume (the codec's draw counter fast-forwards it).
+func resumeEvery(t *testing.T, p *rl.Policy, tr []geo.Point, w int, opts core.Options, sample bool, seed int64, stride int) []geo.Point {
+	t.Helper()
+	newRNG := func() *rand.Rand {
+		if !sample {
+			return nil
+		}
+		return rand.New(rand.NewSource(seed))
+	}
+	s, err := core.NewStreamer(p, w, opts, sample, newRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range tr {
+		if i > 0 && i%stride == 0 {
+			raw := s.ExportState().AppendBinary(nil)
+			st, err := core.DecodeStreamerState(raw)
+			if err != nil {
+				t.Fatalf("push %d: decode spilled state: %v", i, err)
+			}
+			if s, err = core.ResumeStreamer(p, opts, st, newRNG()); err != nil {
+				t.Fatalf("push %d: resume: %v", i, err)
+			}
+		}
+		s.Push(pt)
+	}
+	return s.Snapshot()
+}
+
+func bitIdentical(a, b []geo.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i].X) != math.Float64bits(b[i].X) ||
+			math.Float64bits(a[i].Y) != math.Float64bits(b[i].Y) ||
+			math.Float64bits(a[i].T) != math.Float64bits(b[i].T) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSpillRehydrateDifferential(t *testing.T) {
+	for _, g := range generators {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			rounds := scaled(3)
+			for round := 0; round < rounds; round++ {
+				r := rand.New(rand.NewSource(int64(7000 + round)))
+				tr := g.gen(r, 40+r.Intn(80))
+				for _, m := range errm.Measures {
+					for _, j := range []int{0, 2} {
+						for _, sample := range []bool{false, true} {
+							opts := core.Options{Measure: m, Variant: core.Online, K: 3, J: j}
+							p := checkPolicy(t, opts, int64(round)*10+int64(m))
+							w := 5 + r.Intn(10)
+							seed := int64(round*100 + int(m) + j)
+
+							want := snapshotOf(t, p, tr, w, opts, sample, rand.New(rand.NewSource(seed)))
+							// stride 1 spills between every pair of pushes —
+							// it crosses the fill boundary and every pending
+							// skip; the wider strides vary which decisions
+							// happen fresh after a rehydrate.
+							for _, stride := range []int{1, 7, len(tr)/2 + 1} {
+								got := resumeEvery(t, p, tr, w, opts, sample, seed, stride)
+								if !bitIdentical(got, want) {
+									t.Fatalf("%s %s J=%d sample=%v round %d stride %d: rehydrated run diverged (%d vs %d points)",
+										g.name, m, j, sample, round, stride, len(got), len(want))
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

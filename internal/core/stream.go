@@ -32,11 +32,19 @@ type Streamer struct {
 	sample bool
 	r      *rand.Rand
 
-	buf     *buffer.Buffer
-	n       int // points pushed so far
-	skip    int // pending pushes to drop silently
-	last    geo.Point
-	hasLast bool
+	buf      *buffer.Buffer
+	n        int // points pushed so far
+	skip     int // pending pushes to drop silently
+	nskipped int // points ever swallowed by skip actions
+	last     geo.Point
+	hasLast  bool
+
+	// draws counts the Float64 values consumed from r: the sampling RNG's
+	// position. A stream resumed from ExportState re-derives the identical
+	// stream of future draws by fast-forwarding a freshly seeded source
+	// this many steps (the checkpoint treatment rl gives EpSeq, applied to
+	// streams).
+	draws uint64
 
 	// Unflushed metric deltas: plain ints so Push costs nothing extra;
 	// FlushMetrics publishes them as two atomic adds into met.
@@ -99,6 +107,7 @@ func (s *Streamer) Push(pt geo.Point) {
 	defer func() { s.n++ }()
 	if s.skip > 0 {
 		s.skip--
+		s.nskipped++
 		s.unflushedSkipped++
 		return
 	}
@@ -116,6 +125,9 @@ func (s *Streamer) Push(pt geo.Point) {
 	s.buf.SetValue(old, s.value(old))
 	state, mask := s.buildState()
 	a := s.p.Act(state, mask, s.sample, s.r)
+	if s.sample {
+		s.draws++ // Act consumes exactly one Float64 per sampled decision
+	}
 	if a < s.opts.K {
 		d := s.cand(a)
 		prev, next := s.buf.Drop(d)
@@ -181,8 +193,17 @@ func (s *Streamer) repairOnline(prev, next, dropped *buffer.Entry) {
 // Seen returns the number of points pushed so far.
 func (s *Streamer) Seen() int { return s.n }
 
+// Skipped returns the number of points ever swallowed by skip actions.
+func (s *Streamer) Skipped() int { return s.nskipped }
+
 // BufferSize returns the number of points currently buffered.
 func (s *Streamer) BufferSize() int { return s.buf.Size() }
+
+// Last returns the most recent accepted point and whether one exists.
+// Callers that validate pushes against cross-push ordering (the HTTP
+// session layer) read the boundary from here instead of tracking their
+// own copy.
+func (s *Streamer) Last() (geo.Point, bool) { return s.last, s.hasLast }
 
 // Snapshot returns the current simplified trajectory. If the most recent
 // pushed point is not buffered (it was skipped), it is appended so the

@@ -1,0 +1,329 @@
+package core
+
+// Durable streamer state: ExportState captures everything a Streamer
+// needs to continue bit-identically in another process — the buffer's
+// full internal layout (list order, drop values, exact heap slots), the
+// seen/skip counters, the last accepted point and the sampling RNG's
+// position — and ResumeStreamer rebuilds a streamer from it. The binary
+// codec (AppendBinary/DecodeStreamerState) is the versioned wire format
+// the HTTP session layer spills to disk; the decoder is total (it
+// errors on any malformed input, never panics or half-restores).
+//
+// RNG treatment: math/rand exposes no state serialization, so the
+// export records how many Float64 draws the policy has consumed —
+// exactly one per sampled decision — and ResumeStreamer fast-forwards a
+// freshly seeded source that many steps. This is the same position-
+// counter treatment the training checkpoints give the per-episode RNG
+// streams (rl.Checkpoint.EpSeq). The replay is O(draws) but a draw is a
+// few nanoseconds, so even a million-decision stream rehydrates in
+// milliseconds.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rlts/internal/buffer"
+	"rlts/internal/geo"
+	"rlts/internal/rl"
+)
+
+// StreamerStateVersion guards the streamer-state wire format; bump on
+// incompatible changes.
+const StreamerStateVersion = 1
+
+// StreamerState is the complete resumable state of a Streamer. The
+// policy and Options are not part of it: they are process-level
+// configuration the owner re-supplies at resume (and must supply
+// unchanged for bit-identical continuation, just as rl.ResumePolicy
+// refuses a changed training config).
+type StreamerState struct {
+	W       int
+	Sample  bool
+	Seen    int // points pushed so far
+	Skip    int // pending pushes to drop silently
+	Skipped int // points ever swallowed by skip actions
+	Last    geo.Point
+	HasLast bool
+	Draws   uint64 // sampling RNG position (Float64 values consumed)
+	Entries []buffer.EntryState
+}
+
+// ExportState captures the streamer's resumable state. It flushes the
+// pending metric deltas first so nothing is unaccounted if the streamer
+// is discarded after the export (the spill path does exactly that).
+func (s *Streamer) ExportState() *StreamerState {
+	s.FlushMetrics()
+	return &StreamerState{
+		W:       s.w,
+		Sample:  s.sample,
+		Seen:    s.n,
+		Skip:    s.skip,
+		Skipped: s.nskipped,
+		Last:    s.last,
+		HasLast: s.hasLast,
+		Draws:   s.draws,
+		Entries: s.buf.Export(),
+	}
+}
+
+// ResumeStreamer rebuilds a streamer from an exported state. p and opts
+// must be the policy and options of the originating streamer; r must be
+// a rand source freshly seeded with the original seed when st.Sample is
+// set (ResumeStreamer fast-forwards it to the recorded position), and
+// may be nil otherwise. The state is validated in full before anything
+// is built, so a corrupted state yields an error, never a streamer that
+// panics later.
+func ResumeStreamer(p *rl.Policy, opts Options, st *StreamerState, r *rand.Rand) (*Streamer, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Variant != Online {
+		return nil, fmt.Errorf("core: only the Online variant can stream, got %s", opts.Name())
+	}
+	if p.Spec.In != opts.StateSize() || p.Spec.Out != opts.NumActions() {
+		return nil, fmt.Errorf("core: policy shape does not match options")
+	}
+	if st.Sample && r == nil {
+		return nil, fmt.Errorf("core: resuming a sampling streamer without a rand source")
+	}
+	if err := st.validate(opts); err != nil {
+		return nil, err
+	}
+	buf, err := buffer.Restore(st.Entries, st.W+1)
+	if err != nil {
+		return nil, fmt.Errorf("core: resume streamer: %w", err)
+	}
+	if st.Sample {
+		for i := uint64(0); i < st.Draws; i++ {
+			r.Float64()
+		}
+	}
+	return &Streamer{
+		opts:     opts,
+		w:        st.W,
+		p:        p,
+		sample:   st.Sample,
+		r:        r,
+		buf:      buf,
+		n:        st.Seen,
+		skip:     st.Skip,
+		nskipped: st.Skipped,
+		last:     st.Last,
+		hasLast:  st.HasLast,
+		draws:    st.Draws,
+		met:      coreMetrics(),
+	}, nil
+}
+
+// validate checks the state's internal consistency against the streamer
+// invariants: during buffer fill every pushed point is buffered and no
+// skip is pending; after fill the buffer holds exactly W points; buffered
+// points are finite with strictly increasing timestamps and indices; the
+// last accepted point caps the buffered tail.
+func (st *StreamerState) validate(opts Options) error {
+	if st.W < 2 {
+		return fmt.Errorf("core: streamer state: budget W must be >= 2, got %d", st.W)
+	}
+	if st.Seen < 0 || st.Skip < 0 || st.Skipped < 0 {
+		return fmt.Errorf("core: streamer state: negative counter (seen %d, skip %d, skipped %d)",
+			st.Seen, st.Skip, st.Skipped)
+	}
+	if st.Skip > opts.J {
+		return fmt.Errorf("core: streamer state: pending skip %d exceeds J = %d", st.Skip, opts.J)
+	}
+	if !st.Sample && st.Draws != 0 {
+		return fmt.Errorf("core: streamer state: %d RNG draws recorded without sampling", st.Draws)
+	}
+	if st.Seen < st.W {
+		if len(st.Entries) != st.Seen {
+			return fmt.Errorf("core: streamer state: %d points buffered during fill of %d seen",
+				len(st.Entries), st.Seen)
+		}
+		if st.Skip != 0 {
+			return fmt.Errorf("core: streamer state: pending skip during buffer fill")
+		}
+	} else if len(st.Entries) != st.W {
+		return fmt.Errorf("core: streamer state: %d points buffered after fill, want W = %d",
+			len(st.Entries), st.W)
+	}
+	if st.Seen > 0 && !st.HasLast {
+		return fmt.Errorf("core: streamer state: %d points seen but no last point", st.Seen)
+	}
+	if st.HasLast && !st.Last.IsFinite() {
+		return fmt.Errorf("core: streamer state: non-finite last point")
+	}
+	prevIdx, prevT := -1, math.Inf(-1)
+	for i, es := range st.Entries {
+		if !es.P.IsFinite() {
+			return fmt.Errorf("core: streamer state: non-finite point at buffer position %d", i)
+		}
+		if math.IsNaN(es.Value) || math.IsInf(es.Value, 0) {
+			return fmt.Errorf("core: streamer state: non-finite drop value at buffer position %d", i)
+		}
+		if es.Index <= prevIdx || es.Index >= st.Seen {
+			return fmt.Errorf("core: streamer state: buffer index %d out of order at position %d (seen %d)",
+				es.Index, i, st.Seen)
+		}
+		if es.P.T <= prevT {
+			return fmt.Errorf("core: streamer state: buffer timestamps not increasing at position %d", i)
+		}
+		prevIdx, prevT = es.Index, es.P.T
+	}
+	if len(st.Entries) > 0 && st.Last.T < prevT {
+		return fmt.Errorf("core: streamer state: last point precedes the buffered tail")
+	}
+	return nil
+}
+
+// Binary layout (all little-endian):
+//
+//	u32  version
+//	u8   flags (bit 0 sample, bit 1 hasLast)
+//	u32  w
+//	u64  seen, skip, skipped, draws
+//	f64  last.X, last.Y, last.T
+//	u32  entry count
+//	per entry: u64 index, f64 x, f64 y, f64 t, f64 value, i64 heapPos
+const streamerEntryBytes = 8 * 6
+
+// AppendBinary appends the versioned wire encoding of the state to b.
+func (st *StreamerState) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, StreamerStateVersion)
+	var flags byte
+	if st.Sample {
+		flags |= 1
+	}
+	if st.HasLast {
+		flags |= 2
+	}
+	b = append(b, flags)
+	b = binary.LittleEndian.AppendUint32(b, uint32(st.W))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Seen))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Skip))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Skipped))
+	b = binary.LittleEndian.AppendUint64(b, st.Draws)
+	b = appendFloat(b, st.Last.X)
+	b = appendFloat(b, st.Last.Y)
+	b = appendFloat(b, st.Last.T)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.Entries)))
+	for _, e := range st.Entries {
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.Index))
+		b = appendFloat(b, e.P.X)
+		b = appendFloat(b, e.P.Y)
+		b = appendFloat(b, e.P.T)
+		b = appendFloat(b, e.Value)
+		b = binary.LittleEndian.AppendUint64(b, uint64(int64(e.HeapPos)))
+	}
+	return b
+}
+
+// DecodeStreamerState decodes a state written by AppendBinary. The
+// decoder is total: any truncated, oversized or malformed input yields
+// an error. It performs wire-level validation only; semantic validation
+// happens in ResumeStreamer, so a decoded state is not necessarily a
+// usable one.
+func DecodeStreamerState(data []byte) (*StreamerState, error) {
+	d := byteReader{buf: data}
+	ver := d.u32()
+	if d.err == nil && ver != StreamerStateVersion {
+		return nil, fmt.Errorf("core: streamer state version %d, want %d", ver, StreamerStateVersion)
+	}
+	flags := d.u8()
+	st := &StreamerState{
+		Sample:  flags&1 != 0,
+		HasLast: flags&2 != 0,
+	}
+	st.W = int(d.u32())
+	st.Seen = d.count()
+	st.Skip = d.count()
+	st.Skipped = d.count()
+	st.Draws = d.u64()
+	st.Last.X = d.f64()
+	st.Last.Y = d.f64()
+	st.Last.T = d.f64()
+	n := d.u32()
+	if d.err != nil {
+		return nil, fmt.Errorf("core: decode streamer state: %w", d.err)
+	}
+	if rem := len(data) - d.off; int(n)*streamerEntryBytes != rem {
+		return nil, fmt.Errorf("core: decode streamer state: %d entries declared, %d bytes remain", n, rem)
+	}
+	st.Entries = make([]buffer.EntryState, n)
+	for i := range st.Entries {
+		e := &st.Entries[i]
+		e.Index = d.count()
+		e.P.X = d.f64()
+		e.P.Y = d.f64()
+		e.P.T = d.f64()
+		e.Value = d.f64()
+		e.HeapPos = int(int64(d.u64()))
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("core: decode streamer state: %w", d.err)
+	}
+	return st, nil
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// byteReader is a bounds-checked little-endian cursor: reads past the
+// end set err and return zeros instead of panicking, so decoders can
+// read a whole header and check err once.
+type byteReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *byteReader) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("truncated at byte %d (need %d of %d)", d.off, n, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *byteReader) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *byteReader) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *byteReader) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *byteReader) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count reads a u64 that must fit a non-negative int.
+func (d *byteReader) count() int {
+	v := d.u64()
+	if d.err == nil && v > math.MaxInt32 {
+		d.err = fmt.Errorf("implausible count %d at byte %d", v, d.off)
+		return 0
+	}
+	return int(v)
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"math"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"rlts/internal/rl"
@@ -76,6 +77,25 @@ func (e *Env) Step(action int) (state []float64, mask []bool, reward float64, do
 
 func (e *Env) StateSize() int  { return e.Inner.StateSize() }
 func (e *Env) NumActions() int { return e.Inner.NumActions() }
+
+// ErrDiskFull is the sentinel FailWrites fails with, standing in for a
+// full or dying disk under the session spill path.
+var ErrDiskFull = errors.New("faultinject: injected write failure")
+
+// FailWrites returns a write hook (server.Config.SpillWrite) that lets
+// the first n writes through to write and fails every one after with
+// ErrDiskFull — a disk that fills up mid-flight. With n = 0 every write
+// fails. Safe for concurrent use (spill writes from different shards can
+// overlap).
+func FailWrites(n int, write func(path string, data []byte) error) func(path string, data []byte) error {
+	var attempts atomic.Int64
+	return func(path string, data []byte) error {
+		if attempts.Add(1) > int64(n) {
+			return ErrDiskFull
+		}
+		return write(path, data)
+	}
+}
 
 // PanicHandler returns an http.Handler that panics with msg — the probe
 // for the server's panic-recovery middleware.

@@ -23,6 +23,8 @@ const (
 	DefaultDrainTimeout   = 30 * time.Second
 	DefaultStreamTTL      = 5 * time.Minute
 	DefaultMaxStreams     = 1024
+	DefaultStreamShards   = 8
+	DefaultMaxHotSessions = 4096
 	DefaultMaxBatchItems  = 256
 	DefaultBatchWidth     = 64
 )
@@ -71,6 +73,28 @@ type Config struct {
 	// it are rejected with 429. 0 means DefaultMaxStreams, negative
 	// disables the cap.
 	MaxStreams int
+	// StreamShards is the number of lock domains the streaming session
+	// store is split across: session ids hash onto shards, each with its
+	// own mutex, TTL janitor and LRU accounting, so concurrent session
+	// traffic (and a disk write during a spill) contends on 1/N of the
+	// keyspace. 0 means DefaultStreamShards, negative means 1.
+	StreamShards int
+	// SpillDir enables session durability: cold sessions are serialized
+	// to this directory (one CRC-sealed file per session, written
+	// atomically), rehydrated bit-identically on their next touch, and
+	// recovered across restarts. Empty disables spilling — sessions are
+	// memory-only, the pre-durability behavior. See DESIGN.md §14.
+	SpillDir string
+	// MaxHotSessions bounds the sessions held in memory when SpillDir is
+	// set; beyond it the least-recently-active sessions spill to disk.
+	// 0 means DefaultMaxHotSessions, negative disables the bound (spill
+	// happens only on DrainStreams). Ignored without SpillDir.
+	MaxHotSessions int
+	// SpillWrite, when non-nil, replaces the atomic file write the spill
+	// path uses (storage.WriteFileAtomic). It exists for fault-injection
+	// tests — a failing SpillWrite must leave sessions live in memory —
+	// and for embedders with their own durable medium.
+	SpillWrite func(path string, data []byte) error
 	// MaxBatchItems caps the trajectories one POST /v1/simplify/batch
 	// request may carry; larger batches are refused with 413 (clients
 	// split them, the same contract as MaxPoints). 0 means
@@ -114,6 +138,15 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxStreams == 0 {
 		c.MaxStreams = DefaultMaxStreams
+	}
+	switch {
+	case c.StreamShards == 0:
+		c.StreamShards = DefaultStreamShards
+	case c.StreamShards < 0:
+		c.StreamShards = 1
+	}
+	if c.MaxHotSessions == 0 {
+		c.MaxHotSessions = DefaultMaxHotSessions
 	}
 	if c.MaxBatchItems == 0 {
 		c.MaxBatchItems = DefaultMaxBatchItems

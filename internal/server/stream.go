@@ -16,12 +16,25 @@ package server
 // timestamps, checked against the session's last accepted point, so a
 // duplicate timestamp across two pushes is rejected just like one within
 // a single push.
+//
+// Sessions live in a sharded store: session ids hash across
+// Config.StreamShards shards, each with its own lock and TTL janitor, so
+// a million sessions never serialize on one mutex and a disk write
+// stalls only 1/N of the keyspace. With Config.SpillDir set the store is
+// durable and memory-bounded: when a shard holds more than its share of
+// Config.MaxHotSessions, the coldest sessions are serialized (versioned
+// binary codec, CRC-sealed, written via storage.WriteAtomic) and
+// rehydrated on their next push or snapshot, bit-identical to a session
+// that never left memory; Server.DrainStreams spills everything for a
+// restart. See spill.go and DESIGN.md §14 for the durability model.
 
 import (
+	"hash/fnv"
 	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rlts/internal/core"
@@ -36,6 +49,8 @@ const (
 	codeStreamNotFound = "stream_not_found"
 	codeTooManyStreams = "too_many_streams"
 	codeNotStreamable  = "not_streamable"
+	codeStreamCorrupt  = "stream_spill_corrupt"
+	codeStreamBusy     = "stream_busy"
 )
 
 // streamSession is one live streaming simplification. The mutex
@@ -44,113 +59,206 @@ const (
 // order-dependent anyway.
 type streamSession struct {
 	id   string
+	key  string // policy registry key ("algo/measure", lower-case)
 	algo string
+	seed int64 // sampling seed; the RNG position lives in the streamer
 
-	mu         sync.Mutex
-	str        *core.Streamer
-	w          int
-	last       geo.Point // last accepted point, for cross-push validation
-	hasLast    bool
-	lastActive time.Time
+	mu  sync.Mutex
+	str *core.Streamer
+	w   int
+	// lastActive is the unix-nano time of the last client touch, atomic
+	// so the LRU spill scan and the TTL janitor read it without taking
+	// every session's lock.
+	lastActive atomic.Int64
 	// closed is set (under mu) when the session is deleted by the client
 	// or the TTL janitor. A handler that fetched the session from the map
 	// before removal checks it after acquiring mu, so a push can never
 	// land in — and report success against — a dead streamer whose
 	// metrics were already flushed.
 	closed bool
+	// spilled is set (under mu, with the shard lock also held) when the
+	// session's state moved to disk. A handler holding a stale pointer
+	// re-acquires through the store, which rehydrates from the spill
+	// file. The streamer reference is nil while spilled.
+	spilled bool
 }
 
-// streamManager owns every session, enforces the session cap and runs
-// TTL eviction.
-type streamManager struct {
-	policies map[string]*core.Trained
-	ttl      time.Duration
-	max      int
-	maxPush  int // per-push point cap (Config.MaxPoints)
+// touch records client activity for TTL eviction and LRU spill order.
+func (s *streamSession) touch() { s.lastActive.Store(time.Now().UnixNano()) }
 
+// streamShard is one lock domain of the session store.
+type streamShard struct {
 	mu       sync.Mutex
 	sessions map[string]*streamSession
+}
 
-	active  *obs.Gauge
+// streamManager owns every session, enforces the session cap, runs TTL
+// eviction, and — when a spill directory is configured — keeps the hot
+// set bounded by spilling cold sessions to disk.
+type streamManager struct {
+	policies map[string]*core.Trained
+	reg      *obs.Registry
+	ttl      time.Duration
+	max      int // cap on alive sessions (hot + spilled); <= 0 disables
+	maxPush  int // per-push point cap (Config.MaxPoints)
+	spillDir string
+	maxHot   int // per-shard hot budget; <= 0 disables LRU spill
+
+	spillWrite func(path string, data []byte) error
+
+	shards []*streamShard
+	// total counts alive sessions, hot and spilled. Creates reserve a
+	// slot here BEFORE any counter or map is touched, so concurrent
+	// creates can never overshoot max, even momentarily.
+	total atomic.Int64
+
+	active  *obs.Gauge // alive sessions (hot + spilled)
+	hot     *obs.Gauge // sessions resident in memory
 	created *obs.Counter
 	closed  *obs.Counter
 	evicted *obs.Counter
 
+	spills      *obs.Counter
+	rehydrated  *obs.Counter
+	spillErrors *obs.Counter
+	corrupt     *obs.Counter
+	recovered   *obs.Counter
+
 	stopJanitor chan struct{}
 	stopOnce    sync.Once
+	wg          sync.WaitGroup
 }
 
 func newStreamManager(policies map[string]*core.Trained, cfg Config) *streamManager {
 	reg := cfg.Metrics
 	m := &streamManager{
-		policies: policies,
-		ttl:      cfg.StreamTTL,
-		max:      cfg.MaxStreams,
-		maxPush:  cfg.MaxPoints,
-		sessions: make(map[string]*streamSession),
+		policies:   policies,
+		reg:        reg,
+		ttl:        cfg.StreamTTL,
+		max:        cfg.MaxStreams,
+		maxPush:    cfg.MaxPoints,
+		spillDir:   cfg.SpillDir,
+		spillWrite: cfg.SpillWrite,
+		shards:     make([]*streamShard, cfg.StreamShards),
 		active: reg.Gauge("rlts_stream_sessions_active",
-			"Streaming sessions currently open"),
+			"Streaming sessions currently open (in memory or spilled to disk)"),
+		hot: reg.Gauge("rlts_stream_sessions_hot",
+			"Streaming sessions resident in memory"),
 		created: reg.Counter("rlts_stream_sessions_created_total",
 			"Streaming sessions ever created"),
 		closed: reg.Counter("rlts_stream_sessions_closed_total",
 			"Streaming sessions closed by the client"),
 		evicted: reg.Counter("rlts_stream_sessions_evicted_total",
 			"Streaming sessions evicted after sitting idle past the TTL"),
+		spills: reg.Counter("rlts_stream_spills_total",
+			"Session states spilled to disk (LRU pressure or drain)"),
+		rehydrated: reg.Counter("rlts_stream_rehydrations_total",
+			"Session states rehydrated from disk"),
+		spillErrors: reg.Counter("rlts_stream_spill_errors_total",
+			"Failed spill writes (session stayed live in memory)"),
+		corrupt: reg.Counter("rlts_stream_spill_corrupt_total",
+			"Corrupt or unreadable spill files quarantined"),
+		recovered: reg.Counter("rlts_stream_sessions_recovered_total",
+			"Spilled sessions found by the startup recovery scan"),
 		stopJanitor: make(chan struct{}),
 	}
+	if m.spillWrite == nil {
+		m.spillWrite = defaultSpillWrite
+	}
+	for i := range m.shards {
+		m.shards[i] = &streamShard{sessions: make(map[string]*streamSession)}
+	}
+	if cfg.MaxHotSessions > 0 && m.spillDir != "" {
+		m.maxHot = (cfg.MaxHotSessions + len(m.shards) - 1) / len(m.shards)
+		if m.maxHot < 1 {
+			m.maxHot = 1
+		}
+	}
+	if m.spillDir != "" {
+		m.recoveryScan()
+	}
 	if m.ttl > 0 {
-		go m.janitor()
+		for _, sh := range m.shards {
+			sh := sh
+			m.wg.Add(1)
+			go func() { defer m.wg.Done(); m.janitor(sh) }()
+		}
+		if m.spillDir != "" {
+			m.wg.Add(1)
+			go func() { defer m.wg.Done(); m.spillReaper() }()
+		}
 	}
 	return m
 }
 
-// janitor periodically sweeps idle sessions. The tick is a quarter of the
-// TTL (floored so tests with millisecond TTLs still converge quickly),
-// which bounds over-retention at 1.25×TTL.
-func (m *streamManager) janitor() {
+// shardFor hashes a session id onto its shard (FNV-1a).
+func (m *streamManager) shardFor(id string) *streamShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return m.shards[h.Sum32()%uint32(len(m.shards))]
+}
+
+// janitorTick bounds over-retention at 1.25×TTL while letting tests with
+// millisecond TTLs converge quickly.
+func (m *streamManager) janitorTick() time.Duration {
 	tick := m.ttl / 4
 	if tick < 10*time.Millisecond {
 		tick = 10 * time.Millisecond
 	}
-	t := time.NewTicker(tick)
+	return tick
+}
+
+// janitor periodically sweeps one shard's idle sessions.
+func (m *streamManager) janitor(sh *streamShard) {
+	t := time.NewTicker(m.janitorTick())
 	defer t.Stop()
 	for {
 		select {
 		case <-m.stopJanitor:
 			return
 		case now := <-t.C:
-			m.evictIdle(now)
+			m.evictIdleShard(sh, now)
 		}
 	}
 }
 
-func (m *streamManager) evictIdle(now time.Time) {
-	m.mu.Lock()
+func (m *streamManager) evictIdleShard(sh *streamShard, now time.Time) {
+	sh.mu.Lock()
 	var idle []*streamSession
-	for id, s := range m.sessions {
+	for id, s := range sh.sessions {
 		s.mu.Lock()
-		if now.Sub(s.lastActive) > m.ttl {
+		if now.UnixNano()-s.lastActive.Load() > int64(m.ttl) {
 			// Marking closed under both locks means no handler can slip a
 			// push in between the map removal and the final flush.
 			s.closed = true
-			delete(m.sessions, id)
+			delete(sh.sessions, id)
 			idle = append(idle, s)
 		}
 		s.mu.Unlock()
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	for _, s := range idle {
 		m.evicted.Inc()
 		m.active.Dec()
+		m.hot.Dec()
+		m.total.Add(-1)
 		s.mu.Lock()
 		s.str.FlushMetrics()
 		s.mu.Unlock()
 	}
 }
 
-// stop terminates the janitor goroutine (Server.Close).
+// evictIdle sweeps every shard; tests drive it by hand.
+func (m *streamManager) evictIdle(now time.Time) {
+	for _, sh := range m.shards {
+		m.evictIdleShard(sh, now)
+	}
+}
+
+// stop terminates the janitor goroutines (Server.Close).
 func (m *streamManager) stop() {
 	m.stopOnce.Do(func() { close(m.stopJanitor) })
+	m.wg.Wait()
 }
 
 type streamCreateRequest struct {
@@ -186,7 +294,8 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	if algo == "" {
 		algo = "rlts"
 	}
-	p, ok := s.policies[strings.ToLower(algo+"/"+m.String())]
+	key := strings.ToLower(algo + "/" + m.String())
+	p, ok := s.policies[key]
 	if !ok {
 		httpError(w, http.StatusBadRequest, codeUnknownAlgorithm,
 			"no policy registered for %q with measure %s", algo, m)
@@ -219,24 +328,33 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	// process-wide default.
 	str.UseRegistry(s.cfg.Metrics)
 	sess := &streamSession{
-		id:         newRequestID(),
-		algo:       p.Opts.Name(),
-		str:        str,
-		w:          req.W,
-		lastActive: time.Now(),
+		id:   newRequestID(),
+		key:  key,
+		algo: p.Opts.Name(),
+		seed: req.Seed,
+		str:  str,
+		w:    req.W,
 	}
+	sess.touch()
 	sm := s.streams
-	sm.mu.Lock()
-	if sm.max > 0 && len(sm.sessions) >= sm.max {
-		sm.mu.Unlock()
+	// Reserve the slot atomically before anything becomes visible: the
+	// cap can never be overshot, not even momentarily in the metrics.
+	if sm.max > 0 && sm.total.Add(1) > int64(sm.max) {
+		sm.total.Add(-1)
 		httpError(w, http.StatusTooManyRequests, codeTooManyStreams,
 			"%d streaming sessions already open", sm.max)
 		return
 	}
-	sm.sessions[sess.id] = sess
-	sm.mu.Unlock()
+	sh := sm.shardFor(sess.id)
+	sh.mu.Lock()
+	sh.sessions[sess.id] = sess
+	// Counters move with the map under the shard lock, so a scrape can
+	// never observe more created/active sessions than the cap allows.
 	sm.created.Inc()
 	sm.active.Inc()
+	sm.hot.Inc()
+	sm.enforceBudgetLocked(sh, sess)
+	sh.mu.Unlock()
 	writeJSON(w, map[string]interface{}{
 		"id":        sess.id,
 		"algorithm": sess.algo,
@@ -245,28 +363,53 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// lookupStream fetches a session by the {id} path value, answering 404
-// itself when the session does not exist (never created, closed, or
-// evicted).
-func (s *Server) lookupStream(w http.ResponseWriter, r *http.Request) *streamSession {
-	id := r.PathValue("id")
-	s.streams.mu.Lock()
-	sess := s.streams.sessions[id]
-	s.streams.mu.Unlock()
-	if sess == nil {
-		httpError(w, http.StatusNotFound, codeStreamNotFound, "no streaming session %q", id)
-		return nil
+// acquire fetches the session by id with its mutex HELD and its liveness
+// verified, rehydrating from the spill directory on a miss. The caller
+// must Unlock it. When the session cannot be produced, acquire answers
+// the request itself and returns nil.
+func (s *Server) acquire(w http.ResponseWriter, id string) *streamSession {
+	sm := s.streams
+	for attempt := 0; attempt < 4; attempt++ {
+		sh := sm.shardFor(id)
+		sh.mu.Lock()
+		sess := sh.sessions[id]
+		if sess == nil && sm.spillDir != "" {
+			var err error
+			sess, err = s.rehydrateLocked(sh, id)
+			if err != nil {
+				sh.mu.Unlock()
+				httpError(w, http.StatusNotFound, codeStreamCorrupt,
+					"streaming session %q had a corrupt spill file; it was quarantined", id)
+				return nil
+			}
+		}
+		sh.mu.Unlock()
+		if sess == nil {
+			httpError(w, http.StatusNotFound, codeStreamNotFound, "no streaming session %q", id)
+			return nil
+		}
+		sess.mu.Lock()
+		if sess.closed {
+			sess.mu.Unlock()
+			httpError(w, http.StatusNotFound, codeStreamNotFound, "no streaming session %q", id)
+			return nil
+		}
+		if sess.spilled {
+			// Stale pointer: the session moved to disk between the map
+			// lookup and this lock. Re-acquire; the store will rehydrate.
+			sess.mu.Unlock()
+			continue
+		}
+		return sess
 	}
-	return sess
+	httpError(w, http.StatusTooManyRequests, codeStreamBusy,
+		"session %q is thrashing between memory and disk; retry", id)
+	return nil
 }
 
 func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only")
-		return
-	}
-	sess := s.lookupStream(w, r)
-	if sess == nil {
 		return
 	}
 	var req struct {
@@ -284,19 +427,18 @@ func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
 			"push has %d points, limit is %d", len(req.Points), s.streams.maxPush)
 		return
 	}
-
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
-	if sess.closed {
-		httpError(w, http.StatusNotFound, codeStreamNotFound, "no streaming session %q", sess.id)
+	sess := s.acquire(w, r.PathValue("id"))
+	if sess == nil {
 		return
 	}
+	defer sess.mu.Unlock()
 	// Validate the batch with the shared traj rules, prefixed with the
 	// session's last accepted point so cross-push ordering (including
 	// duplicate timestamps at the boundary) is enforced identically.
+	last, hasLast := sess.str.Last()
 	check := make(traj.Trajectory, 0, len(req.Points)+1)
-	if sess.hasLast {
-		check = append(check, sess.last)
+	if hasLast {
+		check = append(check, last)
 	}
 	for _, p := range req.Points {
 		check = append(check, geo.Point{X: p[0], Y: p[1], T: p[2]})
@@ -306,17 +448,18 @@ func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	batch := check
-	if sess.hasLast {
+	if hasLast {
 		batch = check[1:]
 	}
+	skippedBefore := sess.str.Skipped()
 	for _, pt := range batch {
 		sess.str.Push(pt)
 	}
-	sess.last, sess.hasLast = batch[len(batch)-1], true
-	sess.lastActive = time.Now()
+	sess.touch()
 	writeJSON(w, map[string]interface{}{
 		"seen":     sess.str.Seen(),
 		"buffered": sess.str.BufferSize(),
+		"skipped":  sess.str.Skipped() - skippedBefore,
 	})
 }
 
@@ -332,19 +475,13 @@ func (s *Server) handleStreamSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStreamSnapshot(w http.ResponseWriter, r *http.Request) {
-	sess := s.lookupStream(w, r)
+	sess := s.acquire(w, r.PathValue("id"))
 	if sess == nil {
-		return
-	}
-	sess.mu.Lock()
-	if sess.closed {
-		sess.mu.Unlock()
-		httpError(w, http.StatusNotFound, codeStreamNotFound, "no streaming session %q", sess.id)
 		return
 	}
 	snap := sess.str.Snapshot()
 	seen := sess.str.Seen()
-	sess.lastActive = time.Now()
+	sess.touch()
 	sess.mu.Unlock()
 	pts := make([][3]float64, len(snap))
 	for i, p := range snap {
@@ -361,20 +498,33 @@ func (s *Server) handleStreamSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.streams.mu.Lock()
-	sess := s.streams.sessions[id]
-	delete(s.streams.sessions, id)
-	s.streams.mu.Unlock()
+	sm := s.streams
+	sh := sm.shardFor(id)
+	sh.mu.Lock()
+	sess := sh.sessions[id]
 	if sess == nil {
+		// Possibly spilled: close it on disk without paying for a full
+		// policy rehydration.
+		if sm.spillDir != "" {
+			if done := s.closeSpilledLocked(w, sh, id); done {
+				sh.mu.Unlock()
+				return
+			}
+		}
+		sh.mu.Unlock()
 		httpError(w, http.StatusNotFound, codeStreamNotFound, "no streaming session %q", id)
 		return
 	}
-	s.streams.closed.Inc()
-	s.streams.active.Dec()
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	sm.closed.Inc()
+	sm.active.Dec()
+	sm.hot.Dec()
+	sm.total.Add(-1)
 	sess.mu.Lock()
 	sess.closed = true
-	sess.str.FlushMetrics()
+	snap := sess.str.Snapshot() // flushes metrics
 	seen := sess.str.Seen()
 	sess.mu.Unlock()
-	writeJSON(w, map[string]interface{}{"closed": true, "seen": seen})
+	writeJSON(w, map[string]interface{}{"closed": true, "seen": seen, "kept": len(snap)})
 }

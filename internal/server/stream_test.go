@@ -367,9 +367,10 @@ func TestStreamPushToEvictedSession(t *testing.T) {
 	id := createStream(t, ts.URL, map[string]interface{}{"w": 5})
 
 	sm := sv.streams
-	sm.mu.Lock()
-	sess := sm.sessions[id]
-	sm.mu.Unlock()
+	sh := sm.shardFor(id)
+	sh.mu.Lock()
+	sess := sh.sessions[id]
+	sh.mu.Unlock()
 	if sess == nil {
 		t.Fatal("session not in the manager map")
 	}
@@ -386,9 +387,9 @@ func TestStreamPushToEvictedSession(t *testing.T) {
 
 	// Model the racing handler's view — it looked the session up before
 	// eviction — by restoring the stale map entry, then push and snapshot.
-	sm.mu.Lock()
-	sm.sessions[id] = sess
-	sm.mu.Unlock()
+	sh.mu.Lock()
+	sh.sessions[id] = sess
+	sh.mu.Unlock()
 	resp, raw := post(t, ts.URL+"/v1/stream/"+id+"/points",
 		map[string]interface{}{"points": [][3]float64{{0, 0, 0}, {1, 0, 1}}})
 	if resp.StatusCode != 404 {
@@ -397,9 +398,9 @@ func TestStreamPushToEvictedSession(t *testing.T) {
 	if snapResp, _ := getSnapshot(t, ts.URL, id); snapResp.StatusCode != 404 {
 		t.Errorf("snapshot of evicted session: status %d, want 404", snapResp.StatusCode)
 	}
-	sm.mu.Lock()
-	delete(sm.sessions, id)
-	sm.mu.Unlock()
+	sh.mu.Lock()
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
 }
 
 // TestStreamMetricsInServerRegistry: per-session streamer counters are

@@ -38,6 +38,67 @@ echo "== fastmath tolerance pillar (CHECK_SCALE=${CHECK_SCALE:-4}) =="
 CHECK_SCALE="${CHECK_SCALE:-4}" go test -race -count=1 -run 'TestFastMathTolerance|TestFastCloneIsolation' ./internal/check
 go test -race -count=1 -run 'TestFastTanh|TestForwardBatchFast|TestForwardVectorZeroAlloc|TestKernelClone' ./internal/nn
 
+# Durable session store: the spill/rehydrate differential (a streamer
+# serialized through the binary codec at adversarial cut points must
+# continue bit-identically) plus the server-level durability tests —
+# restart bit-identity, corrupt-file quarantine, injected disk failure,
+# Close racing live traffic — all under the race detector.
+echo "== stream spill/rehydrate pillar (CHECK_SCALE=${CHECK_SCALE:-4}) =="
+CHECK_SCALE="${CHECK_SCALE:-4}" go test -race -count=1 -run 'TestSpillRehydrateDifferential' ./internal/check
+go test -race -count=1 -run 'TestStreamer(Resume|State)|TestDecodeStreamerState|TestResumeStreamer|TestExportRestore|TestRestore' ./internal/core ./internal/buffer
+go test -race -count=1 -run 'TestStream(Restart|LRU|Spill|CloseSpilled|Traversal)|TestServerCloseRacesStreamTraffic' ./internal/server
+
+# Crash-restart smoke with the real binary: boot with a spill dir, open a
+# session and push half a stream, SIGTERM (the drain path spills it),
+# restart against the same directory, push the rest and make sure the
+# rehydrated session answers with everything it saw.
+echo "== crash-restart smoke =="
+SPILL_PORT="${SPILL_PORT:-18322}"
+SPILL_DIR="$(mktemp -d /tmp/rlts-spill-check.XXXXXX)"
+go build -o /tmp/rlts-server-check ./cmd/rlts-server
+/tmp/rlts-server-check -addr "127.0.0.1:$SPILL_PORT" -spill-dir "$SPILL_DIR" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$SPILL_DIR"' EXIT
+ok=""
+for i in 1 2 3 4 5 6 7 8 9 10; do
+    if curl -fsS "http://127.0.0.1:$SPILL_PORT/healthz" >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    sleep 0.5
+done
+[ -n "$ok" ] || { echo "crash-restart: server never answered on :$SPILL_PORT"; exit 1; }
+SID=$(curl -fsS -X POST "http://127.0.0.1:$SPILL_PORT/v1/stream" \
+    -d '{"measure":"SED","w":5}' | sed 's/.*"id":"\([0-9a-f]*\)".*/\1/')
+[ -n "$SID" ] || { echo "crash-restart: no session id"; exit 1; }
+curl -fsS -X POST "http://127.0.0.1:$SPILL_PORT/v1/stream/$SID/points" \
+    -d '{"points":[[0,0,0],[1,0,1],[2,5,2],[3,0,3]]}' >/dev/null
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+ls "$SPILL_DIR"/*.sess >/dev/null 2>&1 || { echo "crash-restart: no spill file after SIGTERM"; exit 1; }
+/tmp/rlts-server-check -addr "127.0.0.1:$SPILL_PORT" -spill-dir "$SPILL_DIR" &
+SERVER_PID=$!
+ok=""
+for i in 1 2 3 4 5 6 7 8 9 10; do
+    if curl -fsS "http://127.0.0.1:$SPILL_PORT/healthz" >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    sleep 0.5
+done
+[ -n "$ok" ] || { echo "crash-restart: restarted server never answered"; exit 1; }
+curl -fsS -X POST "http://127.0.0.1:$SPILL_PORT/v1/stream/$SID/points" \
+    -d '{"points":[[4,0,4],[5,2,5]]}' >/dev/null || {
+    echo "crash-restart: push to rehydrated session failed"; exit 1; }
+SNAP=$(curl -fsS "http://127.0.0.1:$SPILL_PORT/v1/stream/$SID")
+echo "$SNAP" | grep -q '"seen":6' || {
+    echo "crash-restart: rehydrated session lost points: $SNAP"; exit 1; }
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+rm -rf "$SPILL_DIR"
+trap - EXIT
+echo "crash-restart: OK"
+
 # One iteration per obs benchmark: catches compile errors and gross
 # regressions (a panicking Observe, an encoder that hangs) without
 # turning the gate into a benchmark run.
@@ -86,4 +147,5 @@ go test ./internal/traj -run '^$' -fuzz '^FuzzReadPLT$' -fuzztime "$FUZZTIME"
 go test ./internal/traj -run '^$' -fuzz '^FuzzFromPoints$' -fuzztime "$FUZZTIME"
 go test ./internal/server -run '^$' -fuzz '^FuzzSimplifyHandler$' -fuzztime "$FUZZTIME"
 go test ./internal/server -run '^$' -fuzz '^FuzzStatsHandler$' -fuzztime "$FUZZTIME"
+go test ./internal/server -run '^$' -fuzz '^FuzzSessionDecode$' -fuzztime "$FUZZTIME"
 echo "check: OK"
