@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test check check-diff check-stream bench-rollout bench-obs bench-batch bench-fast bench-load
+.PHONY: test check check-diff check-stream check-fleet bench-rollout bench-obs bench-batch bench-fast bench-load
 
 test:
 	$(GO) test ./...
@@ -21,6 +21,17 @@ check-stream:
 	CHECK_SCALE=$${CHECK_SCALE:-4} $(GO) test -race -count=1 -run 'TestSpillRehydrateDifferential' ./internal/check
 	$(GO) test -race -count=1 -run 'TestStreamer(Resume|State)|TestDecodeStreamerState|TestResumeStreamer|TestExportRestore|TestRestore' ./internal/core ./internal/buffer
 	$(GO) test -race -count=1 -run 'TestStream|TestServerCloseRacesStreamTraffic' ./internal/server
+
+# Fleet budget pillar: the allocator differential (exact-sum, per-member
+# floor, determinism under member ordering), the rebalance invariant (a
+# fleet of live streamers never holds more than the global budget, even
+# transiently mid-rebalance), the pure allocator suite and the
+# server-level fleet tests (lifecycle, attach validation, restart
+# survival), race-enabled. CHECK_SCALE deepens the differentials.
+check-fleet:
+	CHECK_SCALE=$${CHECK_SCALE:-4} $(GO) test -race -count=1 -run 'TestFleetAllocateDifferential|TestFleetRebalanceBudgetInvariant' ./internal/check
+	$(GO) test -race -count=1 ./internal/fleet
+	$(GO) test -race -count=1 -run 'TestFleet|TestStreamList' ./internal/server
 
 # Full gate: vet + build + race-detector test run (exercises the parallel
 # trainer and evaluation paths) + a fuzz smoke pass over every fuzz

@@ -54,6 +54,7 @@ func BenchmarkTable2TrainingTime(b *testing.B) { benchExperiment(b, "table2") }
 func BenchmarkFig8TrainingCost(b *testing.B)   { benchExperiment(b, "fig8") }
 func BenchmarkExpInference(b *testing.B)       { benchExperiment(b, "infer") }
 func BenchmarkExpQueryImpact(b *testing.B)     { benchExperiment(b, "query") }
+func BenchmarkExpFleet(b *testing.B)           { benchExperiment(b, "fleet") }
 func BenchmarkExpNoiseRobustness(b *testing.B) { benchExperiment(b, "noise") }
 func BenchmarkExpStorageCost(b *testing.B)     { benchExperiment(b, "storage") }
 

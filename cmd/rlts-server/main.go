@@ -15,6 +15,13 @@
 //	curl -s -X POST localhost:8080/v1/stream/ID/points -d '{"points":[[0,0,0],[1,0,1]]}'
 //	curl -s localhost:8080/v1/stream/ID     # snapshot
 //	curl -s -X DELETE localhost:8080/v1/stream/ID
+//
+// Fleets (a shared storage budget across many sessions; see DESIGN.md §15):
+//
+//	curl -s -X POST localhost:8080/v1/fleet -d '{"budget":500,"strategy":"error-greedy"}'
+//	curl -s -X POST localhost:8080/v1/fleet/FID/attach -d '{"session":"ID"}'
+//	curl -s -X POST localhost:8080/v1/fleet/FID/rebalance
+//	curl -s localhost:8080/v1/fleet/FID     # allocation + per-member errors
 package main
 
 import (
@@ -46,6 +53,7 @@ func main() {
 		spillDir   = flag.String("spill-dir", "", "directory for durable session spill; empty = sessions are memory-only")
 		maxHot     = flag.Int("max-hot-sessions", server.DefaultMaxHotSessions, "sessions kept in memory before cold ones spill to -spill-dir (negative = spill only on shutdown)")
 		shards     = flag.Int("shards", server.DefaultStreamShards, "lock shards for the streaming session store")
+		fleetEvery = flag.Duration("fleet-rebalance", 0, "rebalance every fleet's budget allocation on this cadence (0 = only on explicit POST .../rebalance)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		noFast     = flag.Bool("disable-fast", false, "refuse ?fast=1 FastMath kernels; every request runs exact")
 		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
@@ -66,17 +74,18 @@ func main() {
 		}
 	}
 	cfg := server.Config{
-		MaxConcurrent:  *maxConc,
-		RequestTimeout: *reqTO,
-		MaxPoints:      *maxPts,
-		StreamTTL:      *streamTTL,
-		MaxStreams:     *maxStreams,
-		SpillDir:       *spillDir,
-		MaxHotSessions: *maxHot,
-		StreamShards:   *shards,
-		EnablePprof:    *pprofOn,
-		DisableFast:    *noFast,
-		Logger:         logger,
+		MaxConcurrent:       *maxConc,
+		RequestTimeout:      *reqTO,
+		MaxPoints:           *maxPts,
+		StreamTTL:           *streamTTL,
+		MaxStreams:          *maxStreams,
+		SpillDir:            *spillDir,
+		MaxHotSessions:      *maxHot,
+		StreamShards:        *shards,
+		FleetRebalanceEvery: *fleetEvery,
+		EnablePprof:         *pprofOn,
+		DisableFast:         *noFast,
+		Logger:              logger,
 	}
 	sv := server.NewWith(policies, cfg)
 	defer sv.Close()

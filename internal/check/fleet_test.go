@@ -1,0 +1,186 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rlts/internal/core"
+	"rlts/internal/errm"
+	"rlts/internal/fleet"
+	"rlts/internal/traj"
+)
+
+// Fleet differential: the budget allocator's contract, probed with random
+// member populations, and the rebalance loop's one load-bearing promise —
+// the fleet's total stored points never exceed the global budget, not even
+// transiently between two SetBudget calls — probed against live streamers
+// fed by the adversarial generator families.
+
+// randMembers draws a member population with deliberately nasty shapes:
+// zero lengths, zero and tied signals, wildly skewed errors.
+func randMembers(r *rand.Rand, n int) []fleet.Member {
+	ms := make([]fleet.Member, n)
+	for i := range ms {
+		ms[i] = fleet.Member{
+			ID:  fmt.Sprintf("m%04d", i),
+			Len: r.Intn(5000),
+		}
+		switch r.Intn(4) {
+		case 0: // silent member
+		case 1: // tied signals
+			ms[i].Err, ms[i].Pressure = 1, 1
+		case 2: // skewed
+			ms[i].Err = r.Float64() * 1e6
+			ms[i].Pressure = r.Float64() * 1e-6
+		default:
+			ms[i].Err = r.Float64()
+			ms[i].Pressure = r.Float64()
+		}
+	}
+	return ms
+}
+
+// TestFleetAllocateDifferential: for every strategy, over random member
+// populations, the allocation (a) sums to exactly the budget, (b) gives
+// every member at least fleet.MinPerMember, and (c) is identical no
+// matter how the caller orders the member slice.
+func TestFleetAllocateDifferential(t *testing.T) {
+	rounds := scaled(50)
+	for round := 0; round < rounds; round++ {
+		r := rand.New(rand.NewSource(int64(9100 + round)))
+		n := 1 + r.Intn(40)
+		ms := randMembers(r, n)
+		budget := fleet.MinPerMember*n + r.Intn(10000)
+		for _, st := range fleet.Strategies() {
+			as, err := fleet.Allocate(st, ms, budget)
+			if err != nil {
+				t.Fatalf("round %d %s: %v", round, st, err)
+			}
+			if got := fleet.Total(as); got != budget {
+				t.Fatalf("round %d %s: allocated %d, budget %d", round, st, got, budget)
+			}
+			byID := make(map[string]int, len(as))
+			for _, a := range as {
+				if a.W < fleet.MinPerMember {
+					t.Fatalf("round %d %s: member %s got W=%d", round, st, a.ID, a.W)
+				}
+				byID[a.ID] = a.W
+			}
+			// Determinism under caller ordering: shuffle and re-allocate.
+			shuf := append([]fleet.Member(nil), ms...)
+			r.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+			as2, err := fleet.Allocate(st, shuf, budget)
+			if err != nil {
+				t.Fatalf("round %d %s shuffled: %v", round, st, err)
+			}
+			for _, a := range as2 {
+				if byID[a.ID] != a.W {
+					t.Fatalf("round %d %s: member %s W=%d sorted vs %d shuffled",
+						round, st, a.ID, a.W, byID[a.ID])
+				}
+			}
+		}
+	}
+}
+
+// TestFleetRebalanceBudgetInvariant streams adversarial trajectories
+// through a fleet of live streamers while reallocating mid-stream, in
+// the shrinks-before-grows order the server's rebalance engine uses, and
+// asserts the stored-point total never exceeds the global budget after
+// ANY single SetBudget call — the transient a naive apply order would
+// violate.
+func TestFleetRebalanceBudgetInvariant(t *testing.T) {
+	opts := core.Options{Measure: errm.SED, Variant: core.Online, K: 3, J: 0}
+	p := checkPolicy(t, opts, 42)
+	const steps = 6
+	rounds := scaled(4)
+	for round := 0; round < rounds; round++ {
+		r := rand.New(rand.NewSource(int64(9300 + round)))
+		// A fleet drawn across the generator families: error profiles
+		// differ wildly, so reallocations actually move budget.
+		n := 3 + r.Intn(5)
+		trajs := make([]traj.Trajectory, n)
+		budget := 0
+		for i := range trajs {
+			g := generators[r.Intn(len(generators))]
+			trajs[i] = g.gen(rand.New(rand.NewSource(int64(round*100+i))), 60+r.Intn(120))
+			budget += len(trajs[i]) / 8
+		}
+		if budget < fleet.MinPerMember*n {
+			budget = fleet.MinPerMember * n
+		}
+		share := budget / n
+		if share < fleet.MinPerMember {
+			share = fleet.MinPerMember
+		}
+		streams := make([]*core.Streamer, n)
+		for i := range streams {
+			s, err := core.NewStreamer(p, share, opts, false, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streams[i] = s
+		}
+		total := func() int {
+			sum := 0
+			for _, s := range streams {
+				sum += s.BufferSize()
+			}
+			return sum
+		}
+		pushed := make([]int, n)
+		for step := 0; step < steps; step++ {
+			// Feed every member its next chunk of the stream.
+			for i, tr := range trajs {
+				hi := pushed[i] + (len(tr)+steps-1)/steps
+				if hi > len(tr) {
+					hi = len(tr)
+				}
+				for _, pt := range tr[pushed[i]:hi] {
+					streams[i].Push(pt)
+				}
+				pushed[i] = hi
+			}
+			if got := total(); got > budget {
+				t.Fatalf("round %d step %d: fleet holds %d points, budget %d", round, step, got, budget)
+			}
+			// Rebalance from live signals, rotating through the strategies.
+			ms := make([]fleet.Member, n)
+			for i, s := range streams {
+				ms[i] = fleet.Member{
+					ID:       fmt.Sprintf("s%02d", i),
+					Len:      s.Seen(),
+					Err:      s.ErrEst(),
+					Pressure: s.PolicyPressure(),
+				}
+			}
+			st := fleet.Strategies()[step%len(fleet.Strategies())]
+			as, err := fleet.Allocate(st, ms, budget)
+			if err != nil {
+				t.Fatalf("round %d step %d: %v", round, step, err)
+			}
+			// Apply all shrinks first, then the grows, checking the
+			// global total after every individual budget change.
+			for pass := 0; pass < 2; pass++ {
+				for _, a := range as {
+					var i int
+					if _, err := fmt.Sscanf(a.ID, "s%02d", &i); err != nil {
+						t.Fatalf("round %d step %d: bad member id %q", round, step, a.ID)
+					}
+					shrink := a.W < streams[i].Budget()
+					if (pass == 0) != shrink {
+						continue
+					}
+					if err := streams[i].SetBudget(a.W); err != nil {
+						t.Fatalf("round %d step %d: SetBudget(%d): %v", round, step, a.W, err)
+					}
+					if got := total(); got > budget {
+						t.Fatalf("round %d step %d: transient overshoot %d > budget %d after resizing %s",
+							round, step, got, budget, a.ID)
+					}
+				}
+			}
+		}
+	}
+}

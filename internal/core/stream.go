@@ -39,6 +39,15 @@ type Streamer struct {
 	last     geo.Point
 	hasLast  bool
 
+	// errEst is the online estimate of the simplification error introduced
+	// so far: the running maximum of the drop value (Eq. 1) each removed
+	// point carried at the moment it was dropped — by a policy action or a
+	// budget shrink. It is the same per-point estimate STTrace accumulates
+	// and the best obtainable without retaining the original stream; points
+	// swallowed by skip actions are discarded unseen and cannot contribute
+	// (the algorithm itself has no value for them either).
+	errEst float64
+
 	// draws counts the Float64 values consumed from r: the sampling RNG's
 	// position. A stream resumed from ExportState re-derives the identical
 	// stream of future draws by fast-forwarding a freshly seeded source
@@ -111,7 +120,11 @@ func (s *Streamer) Push(pt geo.Point) {
 		s.unflushedSkipped++
 		return
 	}
-	if s.n < s.w {
+	// Fill while the buffer is below budget. Size, not points-pushed,
+	// is the criterion: after SetBudget grows W the buffer refills to the
+	// new cap (for a fixed-budget streamer the two are equivalent — size
+	// equals pushes during fill and equals W after).
+	if s.buf.Size() < s.w {
 		s.buf.Append(s.n, pt)
 		// Value the point that just became interior.
 		if s.buf.Size() >= 3 {
@@ -130,6 +143,9 @@ func (s *Streamer) Push(pt geo.Point) {
 	}
 	if a < s.opts.K {
 		d := s.cand(a)
+		if v := d.Value(); v > s.errEst {
+			s.errEst = v
+		}
 		prev, next := s.buf.Drop(d)
 		s.repairOnline(prev, next, d)
 		return
@@ -188,6 +204,69 @@ func (s *Streamer) repairOnline(prev, next, dropped *buffer.Entry) {
 		}
 		s.buf.SetValue(next, v)
 	}
+}
+
+// SetBudget changes the streamer's storage budget W. Growing is free:
+// the cap is raised and the buffer refills as the stream advances.
+// Shrinking evicts the lowest-valued droppable points immediately — the
+// buffer's value heap (the machinery behind KLowest) already orders them
+// — repairing neighbour values after each eviction exactly as a policy
+// drop would, so the remaining simplification stays consistent. The
+// fleet allocator calls this on rebalance; it is deterministic, and the
+// evicted values fold into ErrEst like any other drop.
+func (s *Streamer) SetBudget(w int) error {
+	if w < 2 {
+		return fmt.Errorf("core: budget W must be >= 2, got %d", w)
+	}
+	s.w = w
+	for s.buf.Size() > w {
+		e := s.buf.Min()
+		if e == nil {
+			// Only endpoints remain; size is <= 2 <= w, unreachable.
+			break
+		}
+		if v := e.Value(); v > s.errEst {
+			s.errEst = v
+		}
+		prev, next := s.buf.Drop(e)
+		s.repairOnline(prev, next, e)
+	}
+	return nil
+}
+
+// Budget returns the current storage budget W.
+func (s *Streamer) Budget() int { return s.w }
+
+// ErrEst returns the online estimate of the simplification error
+// introduced so far: the running maximum of the drop values of every
+// point removed from the buffer (policy drops and budget shrinks). It is
+// 0 while nothing has been dropped. This is an estimate computed from
+// buffered neighbours at drop time, not an exact max-link recomputation
+// against the original stream — the streamer does not retain the
+// original, by design.
+func (s *Streamer) ErrEst() float64 { return s.errEst }
+
+// PolicyPressure returns the trained policy's value signal for budget
+// allocation: the probability-weighted drop value of the next decision,
+// sum over drop actions of pi(a|state) * state[a]. A session whose
+// cheapest droppable points are expensive — and whose policy would still
+// have to drop one — reports high pressure; one full of near-collinear
+// points reports pressure near zero. Returns 0 while the buffer is
+// below budget (no decision is pending). Reading probabilities consumes
+// no RNG draws, so calling this never perturbs a sampled stream.
+func (s *Streamer) PolicyPressure() float64 {
+	if s.buf.Size() < s.w || s.buf.Droppable() == 0 {
+		return 0
+	}
+	state, mask := s.buildState()
+	probs := s.p.Probs(state, mask, false)
+	var v float64
+	for a := 0; a < s.opts.K && a < len(probs); a++ {
+		if mask[a] {
+			v += probs[a] * state[a]
+		}
+	}
+	return v
 }
 
 // Seen returns the number of points pushed so far.

@@ -249,10 +249,10 @@ func TestStreamerDiscardsInvalidObservations(t *testing.T) {
 	pts := []geo.Point{
 		geo.Pt(0, 0, 0),
 		geo.Pt(1, 0, 1),
-		geo.Pt(5, 5, 1),                 // duplicate timestamp: dropped
-		geo.Pt(2, 0, 0.5),               // backwards timestamp: dropped
-		geo.Pt(math.NaN(), 0, 2),        // non-finite: dropped
-		geo.Pt(3, 0, math.Inf(1)),       // non-finite: dropped
+		geo.Pt(5, 5, 1),           // duplicate timestamp: dropped
+		geo.Pt(2, 0, 0.5),         // backwards timestamp: dropped
+		geo.Pt(math.NaN(), 0, 2),  // non-finite: dropped
+		geo.Pt(3, 0, math.Inf(1)), // non-finite: dropped
 		geo.Pt(3, 0, 2),
 		geo.Pt(4, 0, 3),
 	}
@@ -290,5 +290,164 @@ func TestStreamerValidation(t *testing.T) {
 	}
 	if _, err := NewStreamer(p, 5, opts, true, nil); err == nil {
 		t.Error("sampling without rand accepted")
+	}
+}
+
+// TestStreamerSetBudget: shrinking evicts lowest-valued points down to the
+// new cap immediately; growing raises the cap and the buffer refills as
+// the stream advances. The budget is never exceeded at any point, and a
+// shrink folds the evicted values into the error estimate.
+func TestStreamerSetBudget(t *testing.T) {
+	opts := DefaultOptions(errm.SED, Online)
+	p := streamPolicy(t, opts)
+	s, err := NewStreamer(p, 20, opts, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTraj(37, 300)
+	for _, pt := range tr[:100] {
+		s.Push(pt)
+	}
+	if s.BufferSize() != 20 {
+		t.Fatalf("buffer %d after fill, want 20", s.BufferSize())
+	}
+	if s.Budget() != 20 {
+		t.Fatalf("Budget() = %d", s.Budget())
+	}
+	before := s.ErrEst()
+	if err := s.SetBudget(8); err != nil {
+		t.Fatal(err)
+	}
+	if s.BufferSize() != 8 {
+		t.Fatalf("buffer %d after shrink to 8", s.BufferSize())
+	}
+	if s.ErrEst() < before {
+		t.Fatalf("ErrEst went backwards on shrink: %g -> %g", before, s.ErrEst())
+	}
+	// Snapshot after shrink must still be a valid trajectory ending at the
+	// last observation.
+	snap := s.Snapshot()
+	if err := traj.Trajectory(snap).Validate(); err != nil {
+		t.Fatalf("snapshot after shrink invalid: %v", err)
+	}
+	// Grow back: the buffer refills to the new cap and never overshoots.
+	if err := s.SetBudget(15); err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range tr[100:] {
+		s.Push(pt)
+		if s.BufferSize() > 15 {
+			t.Fatalf("buffer %d exceeds grown budget 15", s.BufferSize())
+		}
+	}
+	if s.BufferSize() != 15 {
+		t.Fatalf("buffer %d after regrow and refill, want 15", s.BufferSize())
+	}
+	if err := s.SetBudget(1); err == nil {
+		t.Fatal("SetBudget(1) accepted")
+	}
+}
+
+// TestStreamerSetBudgetResumeBitIdentical: a streamer whose budget was
+// resized mid-stream spills and rehydrates bit-identically — the fleet
+// rebalance / durable-store interaction.
+func TestStreamerSetBudgetResumeBitIdentical(t *testing.T) {
+	opts := Options{Measure: errm.SED, Variant: Online, K: 3, J: 2}
+	tr := testTraj(41, 160)
+	for _, sample := range []bool{false, true} {
+		run := func(resumeAfterResize bool) []geo.Point {
+			p := streamPolicy(t, opts)
+			var r *rand.Rand
+			if sample {
+				r = rand.New(rand.NewSource(9))
+			}
+			s, err := NewStreamer(p, 12, opts, sample, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pt := range tr[:80] {
+				s.Push(pt)
+			}
+			if err := s.SetBudget(6); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetBudget(9); err != nil {
+				t.Fatal(err)
+			}
+			if resumeAfterResize {
+				raw := s.ExportState().AppendBinary(nil)
+				st, err := DecodeStreamerState(raw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var rr *rand.Rand
+				if sample {
+					rr = rand.New(rand.NewSource(9))
+				}
+				s, err = ResumeStreamer(p, opts, st, rr)
+				if err != nil {
+					t.Fatalf("resume after resize: %v", err)
+				}
+			}
+			for _, pt := range tr[80:] {
+				s.Push(pt)
+			}
+			if math.IsNaN(s.ErrEst()) {
+				t.Fatal("NaN ErrEst")
+			}
+			return s.Snapshot()
+		}
+		want := run(false)
+		got := run(true)
+		if !samePoints(got, want) {
+			t.Fatalf("sample=%v: resume after resize diverged", sample)
+		}
+	}
+}
+
+// TestStreamerPolicyPressure: zero while the buffer is filling, finite
+// and non-negative once decisions are pending, and reading it never
+// perturbs a sampled stream (no RNG draws consumed).
+func TestStreamerPolicyPressure(t *testing.T) {
+	opts := DefaultOptions(errm.SED, Online)
+	p := streamPolicy(t, opts)
+	r := rand.New(rand.NewSource(11))
+	s, err := NewStreamer(p, 10, opts, true, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTraj(43, 120)
+	for _, pt := range tr[:5] {
+		s.Push(pt)
+	}
+	if v := s.PolicyPressure(); v != 0 {
+		t.Fatalf("pressure %g during fill, want 0", v)
+	}
+	for _, pt := range tr[5:60] {
+		s.Push(pt)
+	}
+	v := s.PolicyPressure()
+	if math.IsNaN(v) || v < 0 {
+		t.Fatalf("pressure %g out of range", v)
+	}
+	// Interleave pressure reads with pushes in one run and compare the
+	// final snapshot against a read-free run: identical streams mean the
+	// reads are side-effect free.
+	run := func(read bool) []geo.Point {
+		pp := streamPolicy(t, opts)
+		ss, err := NewStreamer(pp, 10, opts, true, rand.New(rand.NewSource(13)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pt := range tr {
+			ss.Push(pt)
+			if read && i%7 == 0 {
+				ss.PolicyPressure()
+			}
+		}
+		return ss.Snapshot()
+	}
+	if !samePoints(run(true), run(false)) {
+		t.Fatal("PolicyPressure perturbed a sampled stream")
 	}
 }

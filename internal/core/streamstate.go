@@ -30,8 +30,10 @@ import (
 )
 
 // StreamerStateVersion guards the streamer-state wire format; bump on
-// incompatible changes.
-const StreamerStateVersion = 1
+// incompatible changes. Version 2 added ErrEst (the online error
+// estimate the fleet allocator reads) and relaxed the buffer-size
+// invariants for budgets resized by SetBudget.
+const StreamerStateVersion = 2
 
 // StreamerState is the complete resumable state of a Streamer. The
 // policy and Options are not part of it: they are process-level
@@ -46,7 +48,8 @@ type StreamerState struct {
 	Skipped int // points ever swallowed by skip actions
 	Last    geo.Point
 	HasLast bool
-	Draws   uint64 // sampling RNG position (Float64 values consumed)
+	Draws   uint64  // sampling RNG position (Float64 values consumed)
+	ErrEst  float64 // running max drop value (Streamer.ErrEst)
 	Entries []buffer.EntryState
 }
 
@@ -64,6 +67,7 @@ func (s *Streamer) ExportState() *StreamerState {
 		Last:    s.last,
 		HasLast: s.hasLast,
 		Draws:   s.draws,
+		ErrEst:  s.errEst,
 		Entries: s.buf.Export(),
 	}
 }
@@ -113,15 +117,19 @@ func ResumeStreamer(p *rl.Policy, opts Options, st *StreamerState, r *rand.Rand)
 		last:     st.Last,
 		hasLast:  st.HasLast,
 		draws:    st.Draws,
+		errEst:   st.ErrEst,
 		met:      coreMetrics(),
 	}, nil
 }
 
 // validate checks the state's internal consistency against the streamer
-// invariants: during buffer fill every pushed point is buffered and no
-// skip is pending; after fill the buffer holds exactly W points; buffered
-// points are finite with strictly increasing timestamps and indices; the
-// last accepted point caps the buffered tail.
+// invariants: the buffer never holds more points than the budget or than
+// were pushed; trajectory endpoints are buffered and never droppable;
+// buffered points are finite with strictly increasing timestamps and
+// indices; the last accepted point caps the buffered tail. W and the
+// buffer size are related by inequalities, not equalities: SetBudget can
+// leave a mid-stream buffer below a freshly raised cap (it refills), so
+// the pre-fleet "exactly W after fill" invariant no longer holds.
 func (st *StreamerState) validate(opts Options) error {
 	if st.W < 2 {
 		return fmt.Errorf("core: streamer state: budget W must be >= 2, got %d", st.W)
@@ -136,17 +144,27 @@ func (st *StreamerState) validate(opts Options) error {
 	if !st.Sample && st.Draws != 0 {
 		return fmt.Errorf("core: streamer state: %d RNG draws recorded without sampling", st.Draws)
 	}
-	if st.Seen < st.W {
-		if len(st.Entries) != st.Seen {
-			return fmt.Errorf("core: streamer state: %d points buffered during fill of %d seen",
-				len(st.Entries), st.Seen)
-		}
-		if st.Skip != 0 {
-			return fmt.Errorf("core: streamer state: pending skip during buffer fill")
-		}
-	} else if len(st.Entries) != st.W {
-		return fmt.Errorf("core: streamer state: %d points buffered after fill, want W = %d",
+	if math.IsNaN(st.ErrEst) || math.IsInf(st.ErrEst, 0) || st.ErrEst < 0 {
+		return fmt.Errorf("core: streamer state: error estimate %g out of range", st.ErrEst)
+	}
+	if len(st.Entries) > st.W {
+		return fmt.Errorf("core: streamer state: %d points buffered exceed budget W = %d",
 			len(st.Entries), st.W)
+	}
+	if len(st.Entries) > st.Seen {
+		return fmt.Errorf("core: streamer state: %d points buffered of %d seen",
+			len(st.Entries), st.Seen)
+	}
+	if want := min(st.Seen, 2); len(st.Entries) < want {
+		return fmt.Errorf("core: streamer state: %d points buffered with %d seen (endpoints are never dropped)",
+			len(st.Entries), st.Seen)
+	}
+	// The buffered head is the simplification's first endpoint and is
+	// never droppable. (The tail MAY carry a stale heap slot: a skip
+	// action un-appends the point behind it and the former predecessor
+	// keeps its value until the next scan — see buffer.RemoveTail.)
+	if len(st.Entries) > 0 && st.Entries[0].HeapPos != -1 {
+		return fmt.Errorf("core: streamer state: buffered head claims heap slot %d", st.Entries[0].HeapPos)
 	}
 	if st.Seen > 0 && !st.HasLast {
 		return fmt.Errorf("core: streamer state: %d points seen but no last point", st.Seen)
@@ -183,6 +201,7 @@ func (st *StreamerState) validate(opts Options) error {
 //	u8   flags (bit 0 sample, bit 1 hasLast)
 //	u32  w
 //	u64  seen, skip, skipped, draws
+//	f64  errEst
 //	f64  last.X, last.Y, last.T
 //	u32  entry count
 //	per entry: u64 index, f64 x, f64 y, f64 t, f64 value, i64 heapPos
@@ -204,6 +223,7 @@ func (st *StreamerState) AppendBinary(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint64(b, uint64(st.Skip))
 	b = binary.LittleEndian.AppendUint64(b, uint64(st.Skipped))
 	b = binary.LittleEndian.AppendUint64(b, st.Draws)
+	b = appendFloat(b, st.ErrEst)
 	b = appendFloat(b, st.Last.X)
 	b = appendFloat(b, st.Last.Y)
 	b = appendFloat(b, st.Last.T)
@@ -240,6 +260,7 @@ func DecodeStreamerState(data []byte) (*StreamerState, error) {
 	st.Skip = d.count()
 	st.Skipped = d.count()
 	st.Draws = d.u64()
+	st.ErrEst = d.f64()
 	st.Last.X = d.f64()
 	st.Last.Y = d.f64()
 	st.Last.T = d.f64()

@@ -151,7 +151,18 @@ func TestResumeStreamerRejectsCorruptState(t *testing.T) {
 		{"skip beyond J", func(st *StreamerState) { st.Skip = 5 }},
 		{"draws without sampling", func(st *StreamerState) { st.Sample = false; st.Draws = 3 }},
 		{"buffer/seen mismatch", func(st *StreamerState) { st.Seen = 3 }},
-		{"post-fill buffer not W", func(st *StreamerState) { st.Entries = st.Entries[:4] }},
+		{"buffer beyond budget", func(st *StreamerState) { st.W = len(st.Entries) - 1 }},
+		{"endpoints dropped", func(st *StreamerState) { st.Entries = st.Entries[:1]; st.Entries[0].HeapPos = -1 }},
+		{"NaN error estimate", func(st *StreamerState) { st.ErrEst = math.NaN() }},
+		{"negative error estimate", func(st *StreamerState) { st.ErrEst = -1 }},
+		{"heap slot out of range", func(st *StreamerState) {
+			for i := range st.Entries {
+				if st.Entries[i].HeapPos >= 0 {
+					st.Entries[i].HeapPos += 100 // beyond the member count
+					break
+				}
+			}
+		}},
 		{"seen without last", func(st *StreamerState) { st.HasLast = false }},
 		{"non-finite last", func(st *StreamerState) { st.Last.X = math.NaN() }},
 		{"non-finite buffered point", func(st *StreamerState) { st.Entries[2].P.Y = math.Inf(1) }},

@@ -1,0 +1,204 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rlts/internal/core"
+	"rlts/internal/errm"
+	"rlts/internal/fleet"
+	"rlts/internal/gen"
+	"rlts/internal/geo"
+	"rlts/internal/query"
+	"rlts/internal/traj"
+)
+
+// ExpFleet evaluates the fleet subsystem's budget-allocation strategies
+// (DESIGN.md §15) on the job they exist for: collective simplification.
+// A heterogeneous collection — smooth long-haul Truck tracks, noisy
+// short T-Drive taxi tracks, mixed Geolife tracks — shares one global
+// storage budget. Each strategy splits that budget into per-trajectory
+// W values, every trajectory is streamed through the online policy
+// under its allocation, and the simplified collection is judged by the
+// queries a trajectory database actually serves:
+//
+//   - range: answer-set recall and F1 of spatio-temporal range queries
+//     against the answer computed on the raw collection;
+//   - NN: fraction of probe points whose nearest trajectory matches;
+//   - kNN: recall of the 5 nearest trajectories.
+//
+// Proportional splits by length alone, so the long-but-straight Truck
+// tracks soak up budget that the wiggly taxi tracks need; error-greedy
+// reallocates by the pilot pass's observed error and should win on
+// query accuracy at equal total storage. The kept-point total is
+// asserted against the global budget for every strategy.
+func ExpFleet(c *Context) (*Table, error) {
+	tb := &Table{
+		ID:      "fleet",
+		Title:   "Fleet allocation strategies: query accuracy at a shared storage budget (SED online policy)",
+		Columns: []string{"Strategy", "Kept/Budget", "Range recall", "Range F1", "NN agree", "kNN recall"},
+	}
+	m := errm.SED
+	tr, err := c.Policy(core.DefaultOptions(m, core.Online))
+	if err != nil {
+		return nil, err
+	}
+
+	// Heterogeneous collection. Truck trajectories are the longest but
+	// smoothest (highway regime: HeadingSD 0.015), T-Drive the shortest
+	// but noisiest (GPSNoise 8m, TurnProb 0.25): length is deliberately
+	// anti-correlated with information content so the allocation
+	// strategies can actually disagree.
+	per := c.Scale.EvalTrajectories / 4
+	if per < 2 {
+		per = 2
+	}
+	var data []traj.Trajectory
+	data = append(data, c.EvalData(gen.Geolife(), per, c.Scale.EvalLen)...)
+	data = append(data, c.EvalData(gen.TDrive(), per, c.Scale.EvalLen/2)...)
+	data = append(data, c.EvalData(gen.Truck(), per, c.Scale.EvalLen*2)...)
+
+	total := 0
+	for _, t := range data {
+		total += len(t)
+	}
+	budget := total / 10
+	if floor := fleet.MinPerMember * len(data); budget < floor {
+		budget = floor
+	}
+
+	// Pilot pass: stream every trajectory under an equal share of the
+	// budget and record the signals the allocator consumes — observed
+	// error (ErrEst) and the policy's drop-pressure. Greedy inference
+	// keeps the whole experiment deterministic.
+	share := budget / len(data)
+	if share < fleet.MinPerMember {
+		share = fleet.MinPerMember
+	}
+	members := make([]fleet.Member, len(data))
+	for i, t := range data {
+		s, err := core.NewStreamer(tr.Policy, share, tr.Opts, false, nil)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fleet pilot: %w", err)
+		}
+		for _, p := range t {
+			s.Push(p)
+		}
+		members[i] = fleet.Member{
+			ID:       fmt.Sprintf("t%03d", i),
+			Len:      len(t),
+			Err:      s.ErrEst(),
+			Pressure: s.PolicyPressure(),
+		}
+	}
+
+	// Query workload, shared across strategies: range rectangles centred
+	// on the raw paths (so answer sets are non-trivial) plus NN / kNN
+	// probe points near the collection's extent.
+	r := rand.New(rand.NewSource(c.Seed + 41))
+	minX, maxX := data[0][0].X, data[0][0].X
+	minY, maxY := data[0][0].Y, data[0][0].Y
+	tLo, tHi := data[0][0].T, data[0][0].T
+	for _, t := range data {
+		for _, p := range t {
+			minX, maxX = min(minX, p.X), max(maxX, p.X)
+			minY, maxY = min(minY, p.Y), max(maxY, p.Y)
+			tLo, tHi = min(tLo, p.T), max(tHi, p.T)
+		}
+	}
+	type rangeQ struct {
+		rect   query.Rect
+		t1, t2 float64
+	}
+	nQ := 8 * c.Scale.Repeats
+	if nQ < 8 {
+		nQ = 8
+	}
+	ranges := make([]rangeQ, nQ)
+	for i := range ranges {
+		t := data[r.Intn(len(data))]
+		center := t[r.Intn(len(t))]
+		half := 50 + r.Float64()*(maxX-minX)/8
+		wt := (tHi - tLo) * (0.1 + r.Float64()*0.4)
+		qs := tLo + r.Float64()*(tHi-tLo-wt)
+		ranges[i] = rangeQ{
+			rect: query.Rect{MinX: center.X - half, MinY: center.Y - half,
+				MaxX: center.X + half, MaxY: center.Y + half},
+			t1: qs, t2: qs + wt,
+		}
+	}
+	probes := make([]geo.Point, nQ)
+	for i := range probes {
+		t := data[r.Intn(len(data))]
+		p := t[r.Intn(len(t))]
+		probes[i] = geo.Pt(p.X+r.NormFloat64()*100, p.Y+r.NormFloat64()*100, 0)
+	}
+	const kNN = 5
+
+	for _, st := range fleet.Strategies() {
+		alloc, err := fleet.Allocate(st, members, budget)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fleet allocate %s: %w", st, err)
+		}
+		wOf := make(map[string]int, len(alloc))
+		for _, a := range alloc {
+			wOf[a.ID] = a.W
+		}
+		simp := make([]traj.Trajectory, len(data))
+		kept := 0
+		for i, t := range data {
+			s, err := core.NewStreamer(tr.Policy, wOf[members[i].ID], tr.Opts, false, nil)
+			if err != nil {
+				return nil, fmt.Errorf("eval: fleet %s: %w", st, err)
+			}
+			for _, p := range t {
+				s.Push(p)
+			}
+			kept += s.BufferSize()
+			simp[i] = traj.Trajectory(s.Snapshot())
+		}
+		// The invariant the whole subsystem exists to uphold: stored
+		// points never exceed the shared budget.
+		if got := fleet.Total(alloc); got != budget {
+			return nil, fmt.Errorf("eval: fleet %s allocated %d of budget %d", st, got, budget)
+		}
+		if kept > budget {
+			return nil, fmt.Errorf("eval: fleet %s kept %d points, budget %d", st, kept, budget)
+		}
+
+		var recall, f1 float64
+		for _, q := range ranges {
+			want := query.RangeAnswerSet(data, q.rect, q.t1, q.t2)
+			got := query.RangeAnswerSet(simp, q.rect, q.t1, q.t2)
+			recall += query.SetRecall(want, got)
+			f1 += query.SetF1(want, got)
+		}
+		recall /= float64(len(ranges))
+		f1 /= float64(len(ranges))
+
+		var nnAgree float64
+		var knnRecall float64
+		for _, p := range probes {
+			iRaw, _ := query.NearestTrajectory(data, p)
+			iSimp, _ := query.NearestTrajectory(simp, p)
+			if iRaw == iSimp {
+				nnAgree++
+			}
+			knnRecall += query.SetRecall(query.KNearest(data, p, kNN), query.KNearest(simp, p, kNN))
+		}
+		nnAgree /= float64(len(probes))
+		knnRecall /= float64(len(probes))
+
+		tb.AddRow(st.String(),
+			fmt.Sprintf("%d/%d", kept, budget),
+			fmt.Sprintf("%.3f", recall),
+			fmt.Sprintf("%.3f", f1),
+			fmt.Sprintf("%.1f%%", 100*nnAgree),
+			fmt.Sprintf("%.3f", knnRecall))
+	}
+	tb.Notes = append(tb.Notes,
+		fmt.Sprintf("%d trajectories (%d points) under one budget of %d points (~10x compression); %d range + %d point probes",
+			len(data), total, budget, len(ranges), len(probes)),
+		"proportional splits by length; error-greedy and rl-value redistribute via a pilot pass's ErrEst / policy pressure")
+	return tb, nil
+}

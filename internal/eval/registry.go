@@ -31,6 +31,7 @@ func Experiments() []Experiment {
 		{"fig8", "Figure 8 (training cost)", Fig8},
 		{"infer", "§VI-A ablation (sampling vs greedy inference)", ExpInference},
 		{"query", "§I motivation (query answering on simplified data)", ExpQuery},
+		{"fleet", "collective extension (shared-budget allocation vs query accuracy)", ExpFleet},
 		{"noise", "robustness extension (GPS outliers)", ExpNoise},
 		{"storage", "§I motivation (storage cost in bytes)", ExpStorage},
 	}

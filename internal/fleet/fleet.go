@@ -1,0 +1,306 @@
+// Package fleet allocates a shared storage budget across a collection
+// of simplification sessions. The single-trajectory problem solved by
+// internal/core fixes one budget W per stream; in a database of
+// trajectories the operationally meaningful constraint is a *global*
+// point budget, and the question becomes how to split it. Following the
+// collective-simplification formulation (arXiv:2311.11204), the split
+// is judged by downstream query accuracy over the whole collection, not
+// by per-trajectory error.
+//
+// The package is pure: it turns a list of member descriptors (length,
+// current error estimate, policy pressure) and a global budget into a
+// deterministic per-member budget assignment. Applying an assignment —
+// calling Streamer.SetBudget, persisting the plan, emitting metrics —
+// is the server layer's job.
+//
+// Three strategies are provided:
+//
+//   - Proportional: split by input length. The baseline every static
+//     simplifier implicitly uses (keep the same ratio everywhere).
+//   - ErrorGreedy: marginal-error descent. Under the standard decay
+//     model err_i(w) ≈ E_i·L_i/w, the marginal gain of granting member
+//     i one more point at budget w is E_i·L_i/(w·(w+1)); points are
+//     granted one at a time to the member with the largest current
+//     marginal gain. Members whose streams are hard to compress (high
+//     current error) soak up budget; near-collinear streams release it.
+//   - RLValue: the same descent driven by the trained policy's value
+//     signal (Streamer.PolicyPressure — the probability-weighted drop
+//     value of the pending decision) instead of the error estimate.
+package fleet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// MinPerMember is the smallest budget any member may be assigned. A
+// simplification must retain its two endpoints, and core.NewStreamer /
+// SetBudget reject W < 2, so no allocation below this is applicable.
+const MinPerMember = 2
+
+// Strategy selects how the global budget is split.
+type Strategy int
+
+const (
+	// Proportional splits the budget in proportion to input length.
+	Proportional Strategy = iota
+	// ErrorGreedy descends on marginal error: each point goes to the
+	// member with the largest estimated error reduction for it.
+	ErrorGreedy
+	// RLValue runs the same marginal descent with the trained policy's
+	// pressure signal in place of the error estimate.
+	RLValue
+)
+
+// Strategies lists every allocation strategy in a fixed order; the
+// evaluation experiment and the check harness iterate over it.
+func Strategies() []Strategy {
+	return []Strategy{Proportional, ErrorGreedy, RLValue}
+}
+
+func (s Strategy) String() string {
+	switch s {
+	case Proportional:
+		return "proportional"
+	case ErrorGreedy:
+		return "error-greedy"
+	case RLValue:
+		return "rl-value"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy maps a wire name (case-insensitive) to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "proportional", "prop", "":
+		return Proportional, nil
+	case "error-greedy", "error_greedy", "greedy":
+		return ErrorGreedy, nil
+	case "rl-value", "rl_value", "rl", "adaptive":
+		return RLValue, nil
+	default:
+		return 0, fmt.Errorf("fleet: unknown strategy %q (want proportional, error-greedy, or rl-value)", name)
+	}
+}
+
+// Member describes one allocation target: a live stream session or a
+// static trajectory in a collection.
+type Member struct {
+	// ID is the member's unique identifier (session id or dataset key).
+	// Allocation sorts by ID, so results are independent of input order.
+	ID string
+	// Len is the number of points observed so far (Streamer.Seen, or
+	// trajectory length for a static member).
+	Len int
+	// Err is the member's current simplification-error estimate
+	// (Streamer.ErrEst or an errm.Tracker reading). Used by ErrorGreedy.
+	Err float64
+	// Pressure is the trained policy's value signal for the member
+	// (Streamer.PolicyPressure). Used by RLValue.
+	Pressure float64
+}
+
+// Assignment is one member's share of the global budget.
+type Assignment struct {
+	ID string `json:"id"`
+	W  int    `json:"w"`
+}
+
+// Total sums the budget of an assignment list.
+func Total(as []Assignment) int {
+	t := 0
+	for _, a := range as {
+		t += a.W
+	}
+	return t
+}
+
+// Allocate splits budget points across members using the given
+// strategy. The result is sorted by member ID and is deterministic: the
+// same members (in any order) and budget always produce the identical
+// assignment. Invariants on success:
+//
+//   - every assignment receives at least MinPerMember points,
+//   - the assignments sum to exactly budget (so the global budget is
+//     never exceeded and never silently undershot),
+//   - an empty member list yields an empty, nil-error assignment.
+//
+// Allocate returns an error when the budget cannot cover
+// MinPerMember·len(members), when member IDs are empty or duplicated,
+// or when a member carries a negative/non-finite statistic.
+func Allocate(strategy Strategy, members []Member, budget int) ([]Assignment, error) {
+	if len(members) == 0 {
+		return nil, nil
+	}
+	ms := make([]Member, len(members))
+	copy(ms, members)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	for i, m := range ms {
+		if m.ID == "" {
+			return nil, fmt.Errorf("fleet: member %d has empty id", i)
+		}
+		if i > 0 && ms[i-1].ID == m.ID {
+			return nil, fmt.Errorf("fleet: duplicate member id %q", m.ID)
+		}
+		if m.Len < 0 {
+			return nil, fmt.Errorf("fleet: member %q has negative length %d", m.ID, m.Len)
+		}
+		if m.Err < 0 || math.IsNaN(m.Err) || math.IsInf(m.Err, 0) {
+			return nil, fmt.Errorf("fleet: member %q has invalid error %v", m.ID, m.Err)
+		}
+		if m.Pressure < 0 || math.IsNaN(m.Pressure) || math.IsInf(m.Pressure, 0) {
+			return nil, fmt.Errorf("fleet: member %q has invalid pressure %v", m.ID, m.Pressure)
+		}
+	}
+	floor := MinPerMember * len(ms)
+	if budget < floor {
+		return nil, fmt.Errorf("fleet: budget %d cannot cover %d members at %d points each",
+			budget, len(ms), MinPerMember)
+	}
+	extra := budget - floor
+
+	var ws []float64
+	switch strategy {
+	case Proportional:
+		ws = lengthWeights(ms)
+		return apportion(ms, ws, extra), nil
+	case ErrorGreedy:
+		ws = descentWeights(ms, func(m Member) float64 { return m.Err })
+	case RLValue:
+		ws = descentWeights(ms, func(m Member) float64 { return m.Pressure })
+	default:
+		return nil, fmt.Errorf("fleet: unknown strategy %d", int(strategy))
+	}
+	if ws == nil {
+		// Every member reported a zero signal (fresh fleet, identical
+		// near-collinear streams): nothing distinguishes them, so fall
+		// back to the proportional baseline rather than starving all.
+		return apportion(ms, lengthWeights(ms), extra), nil
+	}
+	return descend(ms, ws, extra), nil
+}
+
+// lengthWeights returns proportional weights from member lengths,
+// degrading to equal shares when the fleet has seen no points at all.
+func lengthWeights(ms []Member) []float64 {
+	ws := make([]float64, len(ms))
+	total := 0.0
+	for i, m := range ms {
+		ws[i] = float64(m.Len)
+		total += ws[i]
+	}
+	if total == 0 {
+		for i := range ws {
+			ws[i] = 1
+		}
+	}
+	return ws
+}
+
+// descentWeights builds the per-member numerator E_i·L_i of the
+// marginal-gain score, or nil when every member's signal is zero.
+func descentWeights(ms []Member, signal func(Member) float64) []float64 {
+	ws := make([]float64, len(ms))
+	any := false
+	for i, m := range ms {
+		// A zero-length member still gets weight from its signal: a
+		// fresh stream with pending pressure should not be starved.
+		l := float64(m.Len)
+		if l < 1 {
+			l = 1
+		}
+		ws[i] = signal(m) * l
+		if ws[i] > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return ws
+}
+
+// apportion distributes extra points over weights by the largest-
+// remainder method on top of the MinPerMember floor. Ties in remainder
+// break by member index, i.e. by ID — deterministic.
+func apportion(ms []Member, ws []float64, extra int) []Assignment {
+	total := 0.0
+	for _, w := range ws {
+		total += w
+	}
+	out := make([]Assignment, len(ms))
+	type rem struct {
+		i int
+		r float64
+	}
+	rems := make([]rem, len(ms))
+	given := 0
+	for i := range ms {
+		exact := float64(extra) * ws[i] / total
+		fl := math.Floor(exact)
+		out[i] = Assignment{ID: ms[i].ID, W: MinPerMember + int(fl)}
+		given += int(fl)
+		rems[i] = rem{i: i, r: exact - fl}
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].r != rems[b].r {
+			return rems[a].r > rems[b].r
+		}
+		return rems[a].i < rems[b].i
+	})
+	for k := 0; k < extra-given; k++ {
+		out[rems[k%len(rems)].i].W++
+	}
+	return out
+}
+
+// descend grants extra points one at a time to the member with the
+// largest marginal gain w_i/(cur_i·(cur_i+1)), the standard greedy
+// solution to minimising Σ w_i/cur_i under Σ cur_i = budget. Ties break
+// by member index. O(extra · log n); fleet budgets are session buffer
+// sums, well within that.
+func descend(ms []Member, ws []float64, extra int) []Assignment {
+	out := make([]Assignment, len(ms))
+	h := make(gainHeap, len(ms))
+	for i := range ms {
+		out[i] = Assignment{ID: ms[i].ID, W: MinPerMember}
+		h[i] = gain{i: i, w: ws[i], cur: MinPerMember}
+	}
+	heap.Init(&h)
+	for k := 0; k < extra; k++ {
+		g := &h[0]
+		out[g.i].W++
+		g.cur++
+		heap.Fix(&h, 0)
+	}
+	return out
+}
+
+type gain struct {
+	i   int
+	w   float64
+	cur int
+}
+
+func (g gain) score() float64 {
+	return g.w / (float64(g.cur) * float64(g.cur+1))
+}
+
+type gainHeap []gain
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(a, b int) bool {
+	sa, sb := h[a].score(), h[b].score()
+	if sa != sb {
+		return sa > sb
+	}
+	return h[a].i < h[b].i
+}
+func (h gainHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *gainHeap) Push(x any)   { *h = append(*h, x.(gain)) }
+func (h *gainHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

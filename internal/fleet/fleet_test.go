@@ -1,0 +1,242 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func assertInvariants(t *testing.T, as []Assignment, members []Member, budget int) {
+	t.Helper()
+	if len(as) != len(members) {
+		t.Fatalf("got %d assignments for %d members", len(as), len(members))
+	}
+	if got := Total(as); got != budget {
+		t.Fatalf("assignments sum to %d, budget is %d", got, budget)
+	}
+	for _, a := range as {
+		if a.W < MinPerMember {
+			t.Fatalf("member %s assigned %d < MinPerMember", a.ID, a.W)
+		}
+	}
+	for i := 1; i < len(as); i++ {
+		if as[i-1].ID >= as[i].ID {
+			t.Fatalf("assignments not sorted by id: %s before %s", as[i-1].ID, as[i].ID)
+		}
+	}
+}
+
+func byID(as []Assignment) map[string]int {
+	m := make(map[string]int, len(as))
+	for _, a := range as {
+		m[a.ID] = a.W
+	}
+	return m
+}
+
+func TestAllocateInvariantsAllStrategies(t *testing.T) {
+	members := []Member{
+		{ID: "a", Len: 1000, Err: 0.5, Pressure: 0.1},
+		{ID: "b", Len: 200, Err: 2.0, Pressure: 0.9},
+		{ID: "c", Len: 5000, Err: 0.01, Pressure: 0.02},
+		{ID: "d", Len: 1, Err: 0, Pressure: 0},
+	}
+	for _, s := range Strategies() {
+		for _, budget := range []int{8, 9, 100, 1234} {
+			as, err := Allocate(s, members, budget)
+			if err != nil {
+				t.Fatalf("%s budget %d: %v", s, budget, err)
+			}
+			assertInvariants(t, as, members, budget)
+		}
+	}
+}
+
+// TestAllocateDeterministic: shuffled member order must not change the
+// result — the check harness diffs repeated runs byte for byte.
+func TestAllocateDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	members := make([]Member, 20)
+	for i := range members {
+		members[i] = Member{
+			ID:       string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			Len:      r.Intn(5000) + 1,
+			Err:      r.Float64() * 3,
+			Pressure: r.Float64(),
+		}
+	}
+	for _, s := range Strategies() {
+		base, err := Allocate(s, members, 700)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			shuffled := make([]Member, len(members))
+			copy(shuffled, members)
+			r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			got, err := Allocate(s, shuffled, 700)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(base) {
+				t.Fatalf("%s: length changed across shuffles", s)
+			}
+			for i := range got {
+				if got[i] != base[i] {
+					t.Fatalf("%s: assignment %d differs across shuffles: %+v vs %+v", s, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAllocateProportionalTracksLength(t *testing.T) {
+	members := []Member{
+		{ID: "long", Len: 9000},
+		{ID: "short", Len: 1000},
+	}
+	as, err := Allocate(Proportional, members, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := byID(as)
+	// 996 extra over 9:1 weights on top of the 2-point floors.
+	if got["long"] < 890 || got["short"] > 110 {
+		t.Fatalf("proportional split off: %v", got)
+	}
+}
+
+func TestAllocateErrorGreedyFavoursHighError(t *testing.T) {
+	members := []Member{
+		{ID: "smooth", Len: 1000, Err: 0.001},
+		{ID: "rough", Len: 1000, Err: 1.0},
+	}
+	as, err := Allocate(ErrorGreedy, members, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := byID(as)
+	if got["rough"] <= got["smooth"] {
+		t.Fatalf("error-greedy did not favour the high-error member: %v", got)
+	}
+	// Same lengths, ~1000x error ratio: the rough stream should take the
+	// bulk of the budget, not a marginal edge.
+	if got["rough"] < 150 {
+		t.Fatalf("error-greedy split too timid: %v", got)
+	}
+}
+
+func TestAllocateRLValueFavoursHighPressure(t *testing.T) {
+	members := []Member{
+		{ID: "calm", Len: 500, Err: 0.5, Pressure: 0.01},
+		{ID: "hot", Len: 500, Err: 0.5, Pressure: 0.8},
+	}
+	as, err := Allocate(RLValue, members, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := byID(as)
+	if got["hot"] <= got["calm"] {
+		t.Fatalf("rl-value did not favour the high-pressure member: %v", got)
+	}
+}
+
+// TestAllocateZeroSignalFallsBack: a fleet where every member reports a
+// zero signal (all-identical, near-collinear streams) degrades to the
+// proportional split instead of an arbitrary one.
+func TestAllocateZeroSignalFallsBack(t *testing.T) {
+	members := []Member{
+		{ID: "a", Len: 300},
+		{ID: "b", Len: 100},
+	}
+	want, err := Allocate(Proportional, members, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{ErrorGreedy, RLValue} {
+		got, err := Allocate(s, members, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s zero-signal allocation differs from proportional: %+v vs %+v", s, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAllocateDegenerateFleets(t *testing.T) {
+	for _, s := range Strategies() {
+		// Empty fleet: empty allocation, no error.
+		as, err := Allocate(s, nil, 100)
+		if err != nil || len(as) != 0 {
+			t.Fatalf("%s empty fleet: %v %v", s, as, err)
+		}
+		// Single member takes the whole budget.
+		as, err = Allocate(s, []Member{{ID: "only", Len: 50, Err: 0.3, Pressure: 0.2}}, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(as) != 1 || as[0].W != 77 {
+			t.Fatalf("%s single member: %+v", s, as)
+		}
+		// All-identical members split evenly (up to the ±1 remainder).
+		members := []Member{
+			{ID: "a", Len: 100, Err: 0.5, Pressure: 0.5},
+			{ID: "b", Len: 100, Err: 0.5, Pressure: 0.5},
+			{ID: "c", Len: 100, Err: 0.5, Pressure: 0.5},
+		}
+		as, err = Allocate(s, members, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertInvariants(t, as, members, 100)
+		for _, a := range as {
+			if a.W < 33 || a.W > 34 {
+				t.Fatalf("%s identical members split unevenly: %+v", s, as)
+			}
+		}
+	}
+}
+
+func TestAllocateRejectsBadInput(t *testing.T) {
+	ok := []Member{{ID: "a", Len: 10}, {ID: "b", Len: 10}}
+	cases := []struct {
+		name    string
+		members []Member
+		budget  int
+	}{
+		{"budget below floor", ok, 3},
+		{"empty id", []Member{{ID: "", Len: 10}}, 10},
+		{"duplicate id", []Member{{ID: "x", Len: 1}, {ID: "x", Len: 2}}, 10},
+		{"negative length", []Member{{ID: "a", Len: -1}}, 10},
+		{"NaN error", []Member{{ID: "a", Len: 1, Err: math.NaN()}}, 10},
+		{"negative error", []Member{{ID: "a", Len: 1, Err: -0.5}}, 10},
+		{"infinite pressure", []Member{{ID: "a", Len: 1, Pressure: math.Inf(1)}}, 10},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, s := range Strategies() {
+				if _, err := Allocate(s, c.members, c.budget); err == nil {
+					t.Fatalf("%s accepted bad input", s)
+				}
+			}
+		})
+	}
+}
+
+func TestParseStrategyRoundTrip(t *testing.T) {
+	for _, s := range Strategies() {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Fatalf("round trip %s: %v %v", s, got, err)
+		}
+	}
+	if _, err := ParseStrategy("nope"); err == nil {
+		t.Fatal("unknown strategy parsed")
+	}
+	if s, err := ParseStrategy(""); err != nil || s != Proportional {
+		t.Fatalf("empty strategy should default to proportional: %v %v", s, err)
+	}
+}

@@ -1,0 +1,125 @@
+package query
+
+// Collection-level query-accuracy helpers: the judge the fleet
+// subsystem optimizes for. Collective simplification (arXiv:2311.11204)
+// scores a budget allocation not by per-trajectory error but by how
+// faithfully the *simplified collection* answers the queries the
+// database serves — which trajectories pass through a region, which one
+// comes closest to a point, which are a location's nearest neighbours.
+// These helpers compute those answer sets over whole collections and
+// compare simplified against original.
+
+import (
+	"math"
+	"sort"
+
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+// RangeAnswerSet returns the indices of trajectories whose interpolated
+// path enters r at any time within [t1, t2] — the answer set of a
+// range query over the collection.
+func RangeAnswerSet(ts []traj.Trajectory, r Rect, t1, t2 float64) []int {
+	var out []int
+	for i, t := range ts {
+		if WithinDuring(t, r, t1, t2) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SetRecall returns |want ∩ got| / |want|: the fraction of the true
+// answer set a query over the simplified collection still finds. An
+// empty true answer set recalls perfectly — there was nothing to miss.
+func SetRecall(want, got []int) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	in := make(map[int]bool, len(got))
+	for _, i := range got {
+		in[i] = true
+	}
+	hit := 0
+	for _, i := range want {
+		if in[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+// SetF1 returns the F1 score between the true and observed answer sets:
+// recall alone rewards over-answering (a simplification whose inflated
+// extent sweeps every query rectangle recalls 1.0), F1 penalizes it.
+// Both sets empty scores 1; one empty scores 0.
+func SetF1(want, got []int) float64 {
+	if len(want) == 0 && len(got) == 0 {
+		return 1
+	}
+	if len(want) == 0 || len(got) == 0 {
+		return 0
+	}
+	in := make(map[int]bool, len(want))
+	for _, i := range want {
+		in[i] = true
+	}
+	hit := 0
+	for _, i := range got {
+		if in[i] {
+			hit++
+		}
+	}
+	if hit == 0 {
+		return 0
+	}
+	precision := float64(hit) / float64(len(got))
+	recall := float64(hit) / float64(len(want))
+	return 2 * precision * recall / (precision + recall)
+}
+
+// NearestTrajectory returns the index of the collection trajectory whose
+// path comes closest to q, with its approach distance. Ties break to
+// the lower index; an empty collection returns (-1, +Inf).
+func NearestTrajectory(ts []traj.Trajectory, q geo.Point) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i, t := range ts {
+		if d, _ := NearestApproach(t, q); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// KNearest returns the indices of the k trajectories with the smallest
+// nearest-approach distance to q, closest first (ties by index). Fewer
+// than k trajectories returns them all.
+func KNearest(ts []traj.Trajectory, q geo.Point, k int) []int {
+	type cand struct {
+		i int
+		d float64
+	}
+	cands := make([]cand, 0, len(ts))
+	for i, t := range ts {
+		d, _ := NearestApproach(t, q)
+		cands = append(cands, cand{i: i, d: d})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].i < cands[b].i
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].i
+	}
+	return out
+}

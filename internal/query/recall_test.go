@@ -1,0 +1,186 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"rlts/internal/gen"
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+// offsetLine is line(n) shifted dy upward: a collection of parallel
+// tracks at known distances.
+func offsetLine(n int, dy float64) traj.Trajectory {
+	t := line(n)
+	for i := range t {
+		t[i].Y += dy
+	}
+	return t
+}
+
+// thin keeps every k-th point plus the endpoints: a crude but valid
+// simplification for exercising the collection comparisons.
+func thin(t traj.Trajectory, k int) traj.Trajectory {
+	out := traj.Trajectory{t[0]}
+	for i := 1; i < len(t)-1; i++ {
+		if i%k == 0 {
+			out = append(out, t[i])
+		}
+	}
+	return append(out, t[len(t)-1])
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRangeAnswerSet(t *testing.T) {
+	ts := []traj.Trajectory{
+		offsetLine(10, 0),
+		offsetLine(10, 5),
+		offsetLine(10, 100),
+	}
+	r := Rect{2, -1, 4, 6} // crosses tracks 0 and 1, far below track 2
+	if got := RangeAnswerSet(ts, r, 0, 9); !sameInts(got, []int{0, 1}) {
+		t.Fatalf("answer set = %v, want [0 1]", got)
+	}
+	// Time window excludes the spatial overlap (x=t on these tracks).
+	if got := RangeAnswerSet(ts, r, 7, 9); len(got) != 0 {
+		t.Fatalf("late window answer set = %v, want empty", got)
+	}
+	if got := RangeAnswerSet(nil, r, 0, 9); len(got) != 0 {
+		t.Fatalf("empty collection answered %v", got)
+	}
+}
+
+func TestSetRecallAndF1(t *testing.T) {
+	cases := []struct {
+		name       string
+		want, got  []int
+		recall, f1 float64
+	}{
+		{"exact", []int{1, 2, 3}, []int{1, 2, 3}, 1, 1},
+		{"half", []int{1, 2}, []int{2, 9}, 0.5, 0.5},
+		{"miss", []int{1}, []int{2}, 0, 0},
+		{"empty truth empty answer", nil, nil, 1, 1},
+		{"empty truth noisy answer", nil, []int{4}, 1, 0},
+		{"truth but empty answer", []int{4}, nil, 0, 0},
+		{"over-answering", []int{1}, []int{1, 2, 3, 4}, 1, 0.4},
+	}
+	for _, c := range cases {
+		if got := SetRecall(c.want, c.got); !almost(got, c.recall, 1e-12) {
+			t.Errorf("%s: recall = %v, want %v", c.name, got, c.recall)
+		}
+		if got := SetF1(c.want, c.got); !almost(got, c.f1, 1e-12) {
+			t.Errorf("%s: F1 = %v, want %v", c.name, got, c.f1)
+		}
+	}
+}
+
+func TestNearestTrajectoryAndKNearest(t *testing.T) {
+	ts := []traj.Trajectory{
+		offsetLine(10, 0),
+		offsetLine(10, 3),
+		offsetLine(10, 7),
+	}
+	q := geo.Pt(5, 2, 0)
+	if i, d := NearestTrajectory(ts, q); i != 1 || !almost(d, 1, 1e-12) {
+		t.Fatalf("nearest = %d at %v, want 1 at 1", i, d)
+	}
+	if got := KNearest(ts, q, 2); !sameInts(got, []int{1, 0}) {
+		t.Fatalf("2-nearest = %v, want [1 0]", got)
+	}
+	// k beyond the collection returns everything, still ordered.
+	if got := KNearest(ts, q, 10); !sameInts(got, []int{1, 0, 2}) {
+		t.Fatalf("10-nearest = %v, want [1 0 2]", got)
+	}
+	if got := KNearest(ts, q, 0); len(got) != 0 {
+		t.Fatalf("0-nearest = %v", got)
+	}
+	// Degenerate: empty collection.
+	if i, d := NearestTrajectory(nil, q); i != -1 || !math.IsInf(d, 1) {
+		t.Fatalf("empty nearest = %d %v", i, d)
+	}
+	if got := KNearest(nil, q, 3); len(got) != 0 {
+		t.Fatalf("empty collection kNN = %v", got)
+	}
+	// Degenerate: single trajectory is always the answer.
+	if i, _ := NearestTrajectory(ts[:1], q); i != 0 {
+		t.Fatalf("single-member nearest = %d", i)
+	}
+	// Degenerate: all-identical trajectories tie; lowest index wins and
+	// kNN stays deterministic.
+	same := []traj.Trajectory{line(10), line(10), line(10)}
+	if i, _ := NearestTrajectory(same, q); i != 0 {
+		t.Fatalf("identical-collection nearest = %d, want 0", i)
+	}
+	if got := KNearest(same, q, 3); !sameInts(got, []int{0, 1, 2}) {
+		t.Fatalf("identical-collection kNN = %v, want [0 1 2]", got)
+	}
+}
+
+// TestRecallOnSimplifiedCollection is the fleet-eval contract in
+// miniature: answer sets computed over a thinned collection, compared
+// against the raw collection's, score in [0,1] and reach 1 when the
+// simplification is lossless for the query.
+func TestRecallOnSimplifiedCollection(t *testing.T) {
+	g := gen.New(gen.Geolife(), 5)
+	raw := g.Dataset(6, 120)
+	simp := make([]traj.Trajectory, len(raw))
+	for i, tr := range raw {
+		simp[i] = thin(tr, 4)
+	}
+
+	// Range queries drawn from the data's own extent.
+	var minX, maxX, minY, maxY = raw[0][0].X, raw[0][0].X, raw[0][0].Y, raw[0][0].Y
+	for _, tr := range raw {
+		for _, p := range tr {
+			minX, maxX = min(minX, p.X), max(maxX, p.X)
+			minY, maxY = min(minY, p.Y), max(maxY, p.Y)
+		}
+	}
+	w, h := maxX-minX, maxY-minY
+	queries := []Rect{
+		{minX, minY, minX + w/2, minY + h/2},
+		{minX + w/4, minY + h/4, minX + 3*w/4, minY + 3*h/4},
+		{minX + w/2, minY + h/2, maxX, maxY},
+	}
+	t0, t1 := raw[0][0].T, raw[0][len(raw[0])-1].T
+	for _, q := range queries {
+		want := RangeAnswerSet(raw, q, t0, t1)
+		got := RangeAnswerSet(simp, q, t0, t1)
+		r := SetRecall(want, got)
+		if r < 0 || r > 1 {
+			t.Fatalf("recall %v out of range", r)
+		}
+		if f := SetF1(want, got); f < 0 || f > 1 {
+			t.Fatalf("F1 %v out of range", f)
+		}
+	}
+
+	// A lossless "simplification" (identity) must score 1 everywhere.
+	for _, q := range queries {
+		want := RangeAnswerSet(raw, q, t0, t1)
+		if r := SetRecall(want, RangeAnswerSet(raw, q, t0, t1)); r != 1 {
+			t.Fatalf("identity recall %v", r)
+		}
+	}
+
+	// Nearest-neighbour agreement between raw and thinned collections is
+	// well defined and bounded.
+	q := geo.Pt((minX+maxX)/2, (minY+maxY)/2, 0)
+	i, _ := NearestTrajectory(raw, q)
+	j, _ := NearestTrajectory(simp, q)
+	if i < 0 || j < 0 {
+		t.Fatal("nearest query failed on populated collection")
+	}
+}

@@ -1,0 +1,352 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"rlts/internal/fleet"
+	"rlts/internal/gen"
+)
+
+// fleetResponse mirrors the GET /v1/fleet/{id} wire shape.
+type fleetResponse struct {
+	ID         string             `json:"id"`
+	Budget     int                `json:"budget"`
+	Strategy   string             `json:"strategy"`
+	Rebalances int                `json:"rebalances"`
+	Alloc      []fleet.Assignment `json:"alloc"`
+	Members    []struct {
+		ID    string  `json:"id"`
+		W     int     `json:"w"`
+		Tier  string  `json:"tier"`
+		Seen  int     `json:"seen"`
+		Kept  int     `json:"kept"`
+		Error float64 `json:"error"`
+	} `json:"members"`
+	KeptTotal int `json:"kept_total"`
+}
+
+func createFleet(t *testing.T, url string, budget int, strategy string) string {
+	t.Helper()
+	resp, raw := post(t, url+"/v1/fleet", map[string]interface{}{
+		"budget": budget, "strategy": strategy,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("create fleet: status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	decodeRaw(t, raw, &out)
+	if out.ID == "" {
+		t.Fatalf("create fleet returned no id: %s", raw)
+	}
+	return out.ID
+}
+
+func attachSession(t *testing.T, url, fleetID, sessID string) (*http.Response, []byte) {
+	t.Helper()
+	return post(t, url+"/v1/fleet/"+fleetID+"/attach", map[string]interface{}{"session": sessID})
+}
+
+func getFleet(t *testing.T, url, id string) (*http.Response, fleetResponse) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/fleet/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fr fleetResponse
+	if resp.StatusCode == 200 {
+		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, fr
+}
+
+func rebalanceFleet(t *testing.T, url, id string) (int, []fleet.Assignment) {
+	t.Helper()
+	resp, raw := post(t, url+"/v1/fleet/"+id+"/rebalance", map[string]interface{}{})
+	if resp.StatusCode != 200 {
+		t.Fatalf("rebalance: status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Applied int                `json:"applied"`
+		Alloc   []fleet.Assignment `json:"alloc"`
+	}
+	decodeRaw(t, raw, &out)
+	return out.Applied, out.Alloc
+}
+
+// fleetSessions opens n streaming sessions of algorithm algo with budget
+// w each and feeds session i a trajectory of leni(i) points.
+func fleetSessions(t *testing.T, url, algo string, n, w int, leni func(i int) int) []string {
+	t.Helper()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = createStream(t, url, map[string]interface{}{"algorithm": algo, "measure": "SED", "w": w})
+		tr := gen.New(gen.Geolife(), int64(41+i)).Dataset(1, leni(i))[0]
+		pushPoints(t, url, ids[i], points(tr))
+	}
+	return ids
+}
+
+// TestFleetLifecycle walks the whole fleet API: create, attach, GET
+// report, rebalance (allocation invariants, budgets applied to live
+// sessions), detach, delete.
+func TestFleetLifecycle(t *testing.T) {
+	ts, _, _ := streamServer(t, Config{})
+	const budget = 60
+	fid := createFleet(t, ts.URL, budget, "error-greedy")
+
+	sids := fleetSessions(t, ts.URL, "rlts", 3, 30, func(i int) int { return 100 + 60*i })
+	for _, sid := range sids {
+		if resp, raw := attachSession(t, ts.URL, fid, sid); resp.StatusCode != 200 {
+			t.Fatalf("attach %s: status %d: %s", sid, resp.StatusCode, raw)
+		}
+	}
+
+	resp, fr := getFleet(t, ts.URL, fid)
+	if resp.StatusCode != 200 || len(fr.Members) != 3 {
+		t.Fatalf("fleet report: status %d, %d members", resp.StatusCode, len(fr.Members))
+	}
+
+	applied, alloc := rebalanceFleet(t, ts.URL, fid)
+	if applied == 0 {
+		t.Fatal("rebalance applied no budget changes (3x30 into 60 must shrink)")
+	}
+	if got := fleet.Total(alloc); got != budget {
+		t.Fatalf("allocation sums to %d, budget is %d", got, budget)
+	}
+	for _, a := range alloc {
+		if a.W < fleet.MinPerMember {
+			t.Fatalf("member %s allocated %d < %d", a.ID, a.W, fleet.MinPerMember)
+		}
+	}
+
+	// The allocation is live: every member's snapshot reports its new
+	// budget, keeps no more than it, and carries the error estimate the
+	// allocator used (the satellite "error in snapshot" contract).
+	total := 0
+	for _, a := range alloc {
+		resp, raw := getRaw(t, ts.URL+"/v1/stream/"+a.ID)
+		if resp.StatusCode != 200 {
+			t.Fatalf("snapshot %s: status %d", a.ID, resp.StatusCode)
+		}
+		var snap struct {
+			W     int     `json:"w"`
+			Kept  int     `json:"kept"`
+			Error float64 `json:"error"`
+		}
+		decodeRaw(t, raw, &snap)
+		if snap.W != a.W {
+			t.Fatalf("member %s snapshot reports w=%d, allocated %d", a.ID, snap.W, a.W)
+		}
+		// Snapshot may append the last observed point beyond the buffer.
+		if snap.Kept > a.W+1 {
+			t.Fatalf("member %s keeps %d points with budget %d", a.ID, snap.Kept, a.W)
+		}
+		if snap.Error <= 0 {
+			t.Fatalf("member %s shrank from 30 to %d but reports zero error", a.ID, a.W)
+		}
+		total += snap.Kept
+	}
+	if total > budget+len(alloc) {
+		t.Fatalf("fleet keeps %d points, budget %d (+%d snapshot tails)", total, budget, len(alloc))
+	}
+
+	// Detach one; the fleet forgets it but the session lives on.
+	if resp, raw := post(t, ts.URL+"/v1/fleet/"+fid+"/detach",
+		map[string]interface{}{"session": sids[0]}); resp.StatusCode != 200 {
+		t.Fatalf("detach: status %d: %s", resp.StatusCode, raw)
+	}
+	if resp, _ := getSnapshot(t, ts.URL, sids[0]); resp.StatusCode != 200 {
+		t.Fatal("detached session died")
+	}
+
+	// Delete the fleet; members survive ungoverned.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/fleet/"+fid, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != 200 {
+		t.Fatalf("delete fleet: status %d", dresp.StatusCode)
+	}
+	if resp, _ := getFleet(t, ts.URL, fid); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted fleet still answers: %d", resp.StatusCode)
+	}
+	if resp, _ := getSnapshot(t, ts.URL, sids[1]); resp.StatusCode != 200 {
+		t.Fatal("fleet deletion killed a member session")
+	}
+}
+
+// TestStreamListEndpoint covers the GET /v1/stream satellite: hot and
+// cold sessions are enumerated with tier, seen, kept and error.
+func TestStreamListEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	ts, sv, _ := spillServer(t, dir, Config{})
+
+	a := createStream(t, ts.URL, map[string]interface{}{"algorithm": "rlts-skip", "w": 8})
+	b := createStream(t, ts.URL, map[string]interface{}{"algorithm": "rlts-skip", "w": 8})
+	pushPoints(t, ts.URL, a, streamPoints(t, 40))
+	pushPoints(t, ts.URL, b, streamPoints(t, 60))
+
+	// Spill everything: b should list as cold, straight from its file.
+	if err := sv.DrainStreams(); err != nil {
+		t.Fatal(err)
+	}
+	// Touch a so it rehydrates hot again.
+	if resp, _ := getSnapshot(t, ts.URL, a); resp.StatusCode != 200 {
+		t.Fatal("snapshot after drain failed")
+	}
+
+	resp, raw := getRaw(t, ts.URL+"/v1/stream")
+	if resp.StatusCode != 200 {
+		t.Fatalf("list: status %d: %s", resp.StatusCode, raw)
+	}
+	var list struct {
+		Count    int               `json:"count"`
+		Sessions []streamListEntry `json:"sessions"`
+	}
+	decodeRaw(t, raw, &list)
+	if list.Count != 2 || len(list.Sessions) != 2 {
+		t.Fatalf("list reports %d sessions, want 2: %s", list.Count, raw)
+	}
+	tiers := map[string]string{}
+	for _, e := range list.Sessions {
+		tiers[e.ID] = e.Tier
+		if e.Seen == 0 || e.Kept == 0 || e.W != 8 {
+			t.Fatalf("entry %+v missing stats", e)
+		}
+	}
+	if tiers[a] != "hot" || tiers[b] != "cold" {
+		t.Fatalf("tiers = %v, want a hot / b cold", tiers)
+	}
+}
+
+// TestFleetSurvivesRestart: fleet records and the budgets they assigned
+// must both come back after a drain + restart on the same directory.
+func TestFleetSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts, sv, _ := spillServer(t, dir, Config{})
+
+	fid := createFleet(t, ts.URL, 40, "error-greedy")
+	sids := fleetSessions(t, ts.URL, "rlts-skip", 2, 25, func(i int) int { return 120 + 80*i })
+	for _, sid := range sids {
+		if resp, raw := attachSession(t, ts.URL, fid, sid); resp.StatusCode != 200 {
+			t.Fatalf("attach: status %d: %s", resp.StatusCode, raw)
+		}
+	}
+	_, alloc := rebalanceFleet(t, ts.URL, fid)
+
+	if err := sv.DrainStreams(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	sv.Close()
+
+	// "Restart": a fresh server over the same spill directory.
+	ts2, _, _ := spillServer(t, dir, Config{})
+	resp, fr := getFleet(t, ts2.URL, fid)
+	if resp.StatusCode != 200 {
+		t.Fatalf("fleet lost across restart: status %d", resp.StatusCode)
+	}
+	if fr.Budget != 40 || fr.Strategy != "error-greedy" || len(fr.Members) != 2 || fr.Rebalances != 1 {
+		t.Fatalf("fleet record mutated across restart: %+v", fr)
+	}
+	for _, a := range alloc {
+		resp, raw := getRaw(t, ts2.URL+"/v1/stream/"+a.ID)
+		if resp.StatusCode != 200 {
+			t.Fatalf("member %s lost across restart", a.ID)
+		}
+		var snap struct {
+			W int `json:"w"`
+		}
+		decodeRaw(t, raw, &snap)
+		if snap.W != a.W {
+			t.Fatalf("member %s budget %d across restart, allocated %d", a.ID, snap.W, a.W)
+		}
+	}
+	// The rehydrated fleet still honours the budget: the report's kept
+	// total may exceed it only by the per-member snapshot tail (the
+	// unbuffered last observation appended by Snapshot), never by
+	// stored points.
+	if fr.KeptTotal > fr.Budget+len(fr.Members) {
+		t.Fatalf("fleet keeps %d points across restart, budget %d (+%d snapshot tails)",
+			fr.KeptTotal, fr.Budget, len(fr.Members))
+	}
+	// And a rebalance on the restarted server still respects the budget.
+	_, alloc2 := rebalanceFleet(t, ts2.URL, fid)
+	if got := fleet.Total(alloc2); got != 40 {
+		t.Fatalf("post-restart allocation sums to %d", got)
+	}
+}
+
+func TestFleetAttachValidation(t *testing.T) {
+	ts, _, _ := streamServer(t, Config{})
+	fid := createFleet(t, ts.URL, 10, "proportional")
+	sid := createStream(t, ts.URL, map[string]interface{}{"measure": "SED", "w": 5})
+
+	// Unknown session.
+	if resp, _ := attachSession(t, ts.URL, fid, "00112233445566ff"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("attach of unknown session: status %d", resp.StatusCode)
+	}
+	// First attach succeeds; the second is a conflict.
+	if resp, raw := attachSession(t, ts.URL, fid, sid); resp.StatusCode != 200 {
+		t.Fatalf("attach: status %d: %s", resp.StatusCode, raw)
+	}
+	if resp, _ := attachSession(t, ts.URL, fid, sid); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double attach: status %d", resp.StatusCode)
+	}
+	// A session belongs to at most one fleet.
+	fid2 := createFleet(t, ts.URL, 10, "proportional")
+	if resp, _ := attachSession(t, ts.URL, fid2, sid); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cross-fleet attach: status %d", resp.StatusCode)
+	}
+	// The budget floor bounds membership: budget 10 covers 5 members max.
+	for i := 0; i < 4; i++ {
+		extra := createStream(t, ts.URL, map[string]interface{}{"measure": "SED", "w": 5})
+		if resp, raw := attachSession(t, ts.URL, fid, extra); resp.StatusCode != 200 {
+			t.Fatalf("attach %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+	last := createStream(t, ts.URL, map[string]interface{}{"measure": "SED", "w": 5})
+	if resp, _ := attachSession(t, ts.URL, fid, last); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("attach beyond budget floor: status %d", resp.StatusCode)
+	}
+	// Bad create requests.
+	if resp, _ := post(t, ts.URL+"/v1/fleet", map[string]interface{}{"budget": 100, "strategy": "nope"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown strategy: status %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/fleet", map[string]interface{}{"budget": 1}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tiny budget: status %d", resp.StatusCode)
+	}
+}
+
+// TestFleetRebalanceDetachesDeadMembers: a member closed behind the
+// fleet's back is dropped at the next rebalance and its budget returns
+// to the pool.
+func TestFleetRebalanceDetachesDeadMembers(t *testing.T) {
+	ts, _, _ := streamServer(t, Config{})
+	fid := createFleet(t, ts.URL, 30, "proportional")
+	sids := fleetSessions(t, ts.URL, "rlts", 3, 10, func(i int) int { return 100 })
+	for _, sid := range sids {
+		attachSession(t, ts.URL, fid, sid)
+	}
+	deleteStream(t, ts.URL, sids[1])
+
+	_, alloc := rebalanceFleet(t, ts.URL, fid)
+	if len(alloc) != 2 {
+		t.Fatalf("allocation still covers %d members after one died", len(alloc))
+	}
+	if got := fleet.Total(alloc); got != 30 {
+		t.Fatalf("survivors split %d, want the full 30", got)
+	}
+	if _, fr := getFleet(t, ts.URL, fid); len(fr.Members) != 2 {
+		t.Fatalf("dead member still attached: %+v", fr.Members)
+	}
+}

@@ -115,6 +115,13 @@ type Config struct {
 	// responses report mode "exact". For operators who want the bitwise
 	// reproducibility contract with no opt-out, at any request's whim.
 	DisableFast bool
+	// FleetRebalanceEvery, when positive, rebalances every fleet's
+	// allocation on this cadence (see fleet.go) so member budgets track
+	// the streams as they grow. Zero or negative disables the janitor;
+	// rebalances then happen only on POST /v1/fleet/{id}/rebalance.
+	// Off by default because a rebalance mutates member budgets — an
+	// operator opts into automatic mutation explicitly.
+	FleetRebalanceEvery time.Duration
 }
 
 func (c Config) normalized() Config {

@@ -14,9 +14,17 @@
 //	POST   /v1/simplify/batch     simplify many trajectories in one request
 //	POST   /v1/stats              Table-I-style statistics for a trajectory
 //	POST   /v1/stream             open a streaming session (see stream.go)
+//	GET    /v1/stream             list streaming sessions
 //	POST   /v1/stream/{id}/points push points into a session
 //	GET    /v1/stream/{id}        snapshot a session's simplification
 //	DELETE /v1/stream/{id}        close a session
+//	POST   /v1/fleet              create a fleet (shared budget; see fleet.go)
+//	GET    /v1/fleet              list fleets
+//	GET    /v1/fleet/{id}         fleet allocation + per-member error report
+//	POST   /v1/fleet/{id}/attach  attach a session to a fleet
+//	POST   /v1/fleet/{id}/detach  detach a session
+//	POST   /v1/fleet/{id}/rebalance recompute and apply the allocation
+//	DELETE /v1/fleet/{id}         delete a fleet
 //
 // With Config.EnablePprof, net/http/pprof is additionally mounted under
 // /debug/pprof/.
@@ -93,6 +101,7 @@ type Server struct {
 	simp     *policyPools
 	fastReq  *obs.Counter
 	streams  *streamManager
+	fleets   *fleetManager
 	batch    *batchRunner
 }
 
@@ -121,16 +130,23 @@ func NewWith(policies []*core.Trained, cfg Config) *Server {
 	s.fastReq = s.cfg.Metrics.Counter("rlts_fast_requests_total",
 		"Policy runs served with the FastMath kernels (?fast=1)")
 	s.streams = newStreamManager(s.policies, s.cfg)
+	s.fleets = newFleetManager(s.cfg)
 	s.batch = newBatchRunner(s.cfg)
+	s.startFleetJanitor()
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.Handle("/metrics", s.cfg.Metrics.Handler())
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("/v1/simplify", s.handleSimplify)
 	s.mux.HandleFunc("/v1/simplify/batch", s.handleSimplifyBatch)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/v1/stream", s.handleStreamCreate)
+	s.mux.HandleFunc("/v1/stream", s.handleStream)
 	s.mux.HandleFunc("/v1/stream/{id}", s.handleStreamSession)
 	s.mux.HandleFunc("/v1/stream/{id}/points", s.handleStreamPush)
+	s.mux.HandleFunc("/v1/fleet", s.handleFleet)
+	s.mux.HandleFunc("/v1/fleet/{id}", s.handleFleetID)
+	s.mux.HandleFunc("/v1/fleet/{id}/attach", s.handleFleetAttach)
+	s.mux.HandleFunc("/v1/fleet/{id}/detach", s.handleFleetDetach)
+	s.mux.HandleFunc("/v1/fleet/{id}/rebalance", s.handleFleetRebalance)
 	if s.cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -146,10 +162,13 @@ func NewWith(policies []*core.Trained, cfg Config) *Server {
 // recovery, load shedding, per-request deadlines).
 func (s *Server) Handler() http.Handler { return Harden(s.mux, s.cfg) }
 
-// Close releases background resources (the streaming session janitor).
-// The HTTP side needs no teardown; Close exists so long-lived embedders
-// and tests do not leak the eviction goroutine.
-func (s *Server) Close() { s.streams.stop() }
+// Close releases background resources (the streaming session janitor
+// and the fleet rebalancer). The HTTP side needs no teardown; Close
+// exists so long-lived embedders and tests do not leak the goroutines.
+func (s *Server) Close() {
+	s.streams.stop()
+	s.fleets.shutdown()
+}
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")

@@ -330,7 +330,10 @@ func (s *Server) rehydrateLocked(sh *streamShard, id string) (*streamSession, er
 	if rec.State.Sample {
 		rng = rand.New(rand.NewSource(rec.Seed))
 	}
-	str, err := core.ResumeStreamer(p.Policy, p.Opts, rec.State, rng)
+	// Resume on a fresh policy clone for the same reason creates do: the
+	// registered instance's forward scratch is shared, and sessions push
+	// concurrently.
+	str, err := core.ResumeStreamer(p.Policy.Clone(), p.Opts, rec.State, rng)
 	if err != nil {
 		sm.quarantineLocked(path)
 		return nil, err

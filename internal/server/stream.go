@@ -7,6 +7,7 @@ package server
 // Sessions are evicted after sitting idle for Config.StreamTTL.
 //
 //	POST   /v1/stream             create  {"algorithm","measure","w","sample","seed"}
+//	GET    /v1/stream             list sessions (id, hot/cold tier, seen, kept)
 //	POST   /v1/stream/{id}/points push    {"points": [[x,y,t], ...]}
 //	GET    /v1/stream/{id}        snapshot
 //	DELETE /v1/stream/{id}        close
@@ -29,9 +30,13 @@ package server
 // restart. See spill.go and DESIGN.md §14 for the durability model.
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -272,11 +277,20 @@ type streamCreateRequest struct {
 	Seed   int64 `json:"seed"`
 }
 
-func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only")
-		return
+// handleStream dispatches the /v1/stream collection route: POST creates
+// a session, GET lists them.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleStreamCreate(w, r)
+	case http.MethodGet:
+		s.handleStreamList(w, r)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET or POST only")
 	}
+}
+
+func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	var req streamCreateRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -319,7 +333,10 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Sample {
 		rng = rand.New(rand.NewSource(req.Seed))
 	}
-	str, err := core.NewStreamer(p.Policy, req.W, p.Opts, req.Sample, rng)
+	// Each session gets its own policy clone: Probs/Act run on policy-owned
+	// forward scratch, so two sessions pushing concurrently on the shared
+	// registered instance would race. Clones share nothing mutable.
+	str, err := core.NewStreamer(p.Policy.Clone(), req.W, p.Opts, req.Sample, rng)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
@@ -363,11 +380,24 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// acquire fetches the session by id with its mutex HELD and its liveness
-// verified, rehydrating from the spill directory on a miss. The caller
-// must Unlock it. When the session cannot be produced, acquire answers
-// the request itself and returns nil.
-func (s *Server) acquire(w http.ResponseWriter, id string) *streamSession {
+// apiError is a deferred httpError: the status/code/message triple of a
+// failure, produced by internal helpers (acquireSession, the fleet
+// rebalancer) that have no ResponseWriter in hand.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func apiErrorf(status int, code, format string, args ...interface{}) *apiError {
+	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// acquireSession fetches the session by id with its mutex HELD and its
+// liveness verified, rehydrating from the spill directory on a miss. The
+// caller must Unlock it. On failure the returned apiError describes the
+// response to send.
+func (s *Server) acquireSession(id string) (*streamSession, *apiError) {
 	sm := s.streams
 	for attempt := 0; attempt < 4; attempt++ {
 		sh := sm.shardFor(id)
@@ -378,21 +408,18 @@ func (s *Server) acquire(w http.ResponseWriter, id string) *streamSession {
 			sess, err = s.rehydrateLocked(sh, id)
 			if err != nil {
 				sh.mu.Unlock()
-				httpError(w, http.StatusNotFound, codeStreamCorrupt,
+				return nil, apiErrorf(http.StatusNotFound, codeStreamCorrupt,
 					"streaming session %q had a corrupt spill file; it was quarantined", id)
-				return nil
 			}
 		}
 		sh.mu.Unlock()
 		if sess == nil {
-			httpError(w, http.StatusNotFound, codeStreamNotFound, "no streaming session %q", id)
-			return nil
+			return nil, apiErrorf(http.StatusNotFound, codeStreamNotFound, "no streaming session %q", id)
 		}
 		sess.mu.Lock()
 		if sess.closed {
 			sess.mu.Unlock()
-			httpError(w, http.StatusNotFound, codeStreamNotFound, "no streaming session %q", id)
-			return nil
+			return nil, apiErrorf(http.StatusNotFound, codeStreamNotFound, "no streaming session %q", id)
 		}
 		if sess.spilled {
 			// Stale pointer: the session moved to disk between the map
@@ -400,11 +427,22 @@ func (s *Server) acquire(w http.ResponseWriter, id string) *streamSession {
 			sess.mu.Unlock()
 			continue
 		}
-		return sess
+		return sess, nil
 	}
-	httpError(w, http.StatusTooManyRequests, codeStreamBusy,
+	return nil, apiErrorf(http.StatusTooManyRequests, codeStreamBusy,
 		"session %q is thrashing between memory and disk; retry", id)
-	return nil
+}
+
+// acquire is acquireSession with the failure written to w. When the
+// session cannot be produced, acquire answers the request itself and
+// returns nil.
+func (s *Server) acquire(w http.ResponseWriter, id string) *streamSession {
+	sess, aerr := s.acquireSession(id)
+	if aerr != nil {
+		httpError(w, aerr.status, aerr.code, "%s", aerr.msg)
+		return nil
+	}
+	return sess
 }
 
 func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
@@ -463,6 +501,107 @@ func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// streamListEntry is one row of GET /v1/stream. Tier reports where the
+// session's state lives: "hot" (in memory) or "cold" (spilled to disk).
+type streamListEntry struct {
+	ID        string  `json:"id"`
+	Tier      string  `json:"tier"`
+	Algorithm string  `json:"algorithm"`
+	W         int     `json:"w"`
+	Seen      int     `json:"seen"`
+	Kept      int     `json:"kept"`
+	Error     float64 `json:"error"`
+}
+
+func (s *Server) handleStreamList(w http.ResponseWriter, r *http.Request) {
+	list := s.listSessions()
+	writeJSON(w, map[string]interface{}{"sessions": list, "count": len(list)})
+}
+
+// listSessions enumerates every live session, hot and cold, sorted by
+// id. Cold sessions are read straight from their spill files — decoding
+// an envelope is cheap and a read-only listing must not drag sessions
+// back into memory (or quarantine a corrupt file; that is the job of
+// the next real touch, which can answer a client properly).
+func (s *Server) listSessions() []streamListEntry {
+	sm := s.streams
+	var out []streamListEntry
+	seen := make(map[string]bool)
+	for _, sh := range sm.shards {
+		sh.mu.Lock()
+		hot := make([]*streamSession, 0, len(sh.sessions))
+		for _, sess := range sh.sessions {
+			hot = append(hot, sess)
+		}
+		sh.mu.Unlock()
+		// Session locks are taken outside the shard lock so a slow
+		// handler on one session cannot stall the whole shard's listing.
+		for _, sess := range hot {
+			sess.mu.Lock()
+			if sess.closed || sess.spilled {
+				sess.mu.Unlock()
+				continue
+			}
+			out = append(out, streamListEntry{
+				ID:        sess.id,
+				Tier:      "hot",
+				Algorithm: sess.algo,
+				W:         sess.str.Budget(),
+				Seen:      sess.str.Seen(),
+				Kept:      len(sess.str.Snapshot()),
+				Error:     sess.str.ErrEst(),
+			})
+			seen[sess.id] = true
+			sess.mu.Unlock()
+		}
+	}
+	if sm.spillDir != "" {
+		ents, err := os.ReadDir(sm.spillDir)
+		if err == nil {
+			for _, e := range ents {
+				name := e.Name()
+				if e.IsDir() || !strings.HasSuffix(name, spillExt) {
+					continue
+				}
+				id := strings.TrimSuffix(name, spillExt)
+				if !validSpillID(id) || seen[id] {
+					continue
+				}
+				data, err := os.ReadFile(filepath.Join(sm.spillDir, name))
+				if err != nil {
+					continue
+				}
+				rec, err := decodeSession(data)
+				if err != nil || rec.ID != id {
+					continue
+				}
+				algo := rec.Key
+				if p, ok := s.policies[rec.Key]; ok {
+					algo = p.Opts.Name()
+				}
+				st := rec.State
+				kept := len(st.Entries)
+				// Mirror Streamer.Snapshot: the last accepted point is
+				// appended when it is not the buffered tail.
+				if st.HasLast && (kept == 0 || st.Last.T > st.Entries[kept-1].P.T) {
+					kept++
+				}
+				out = append(out, streamListEntry{
+					ID:        id,
+					Tier:      "cold",
+					Algorithm: algo,
+					W:         st.W,
+					Seen:      st.Seen,
+					Kept:      kept,
+					Error:     st.ErrEst,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 func (s *Server) handleStreamSession(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
@@ -481,6 +620,10 @@ func (s *Server) handleStreamSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := sess.str.Snapshot()
 	seen := sess.str.Seen()
+	// The live budget, not the creation-time w: a fleet rebalance may
+	// have moved it since.
+	budget := sess.str.Budget()
+	errEst := sess.str.ErrEst()
 	sess.touch()
 	sess.mu.Unlock()
 	pts := make([][3]float64, len(snap))
@@ -489,9 +632,10 @@ func (s *Server) handleStreamSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, map[string]interface{}{
 		"algorithm": sess.algo,
-		"w":         sess.w,
+		"w":         budget,
 		"seen":      seen,
 		"kept":      len(pts),
+		"error":     errEst,
 		"points":    pts,
 	})
 }

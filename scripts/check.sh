@@ -48,6 +48,17 @@ CHECK_SCALE="${CHECK_SCALE:-4}" go test -race -count=1 -run 'TestSpillRehydrateD
 go test -race -count=1 -run 'TestStreamer(Resume|State)|TestDecodeStreamerState|TestResumeStreamer|TestExportRestore|TestRestore' ./internal/core ./internal/buffer
 go test -race -count=1 -run 'TestStream(Restart|LRU|Spill|CloseSpilled|Traversal)|TestServerCloseRacesStreamTraffic' ./internal/server
 
+# Fleet budget pillar: the allocator must distribute exactly the global
+# budget deterministically regardless of member ordering, and a rebalance
+# against live streamers must never let the fleet's stored-point total
+# exceed that budget, even transiently between two resizes. The server
+# suite adds the HTTP lifecycle and the spill/restart survival of fleet
+# records (allocations rehydrate bit-identically; see TestFleetSurvivesRestart).
+echo "== fleet budget pillar (CHECK_SCALE=${CHECK_SCALE:-4}) =="
+CHECK_SCALE="${CHECK_SCALE:-4}" go test -race -count=1 -run 'TestFleetAllocateDifferential|TestFleetRebalanceBudgetInvariant' ./internal/check
+go test -race -count=1 ./internal/fleet
+go test -race -count=1 -run 'TestFleet|TestStreamList' ./internal/server
+
 # Crash-restart smoke with the real binary: boot with a spill dir, open a
 # session and push half a stream, SIGTERM (the drain path spills it),
 # restart against the same directory, push the rest and make sure the
