@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test check check-diff check-stream check-fleet bench-rollout bench-obs bench-batch bench-fast bench-load
+.PHONY: test check check-diff check-stream check-fleet check-bound bench-rollout bench-obs bench-batch bench-fast bench-load
 
 test:
 	$(GO) test ./...
@@ -32,6 +32,16 @@ check-fleet:
 	CHECK_SCALE=$${CHECK_SCALE:-4} $(GO) test -race -count=1 -run 'TestFleetAllocateDifferential|TestFleetRebalanceBudgetInvariant' ./internal/check
 	$(GO) test -race -count=1 ./internal/fleet
 	$(GO) test -race -count=1 -run 'TestFleet|TestStreamList' ./internal/server
+
+# Error-bounded pillar: the one-pass bound proof (every CISED/OPERB kept
+# set re-scored by the exact oracle across all adversarial families) and
+# the compression calibration against the Min-Size DP, plus the algorithm
+# unit/degenerate tests and the server-level bound=eps routing tests,
+# race-enabled. CHECK_SCALE deepens the differentials.
+check-bound:
+	CHECK_SCALE=$${CHECK_SCALE:-4} $(GO) test -race -count=1 -run 'TestBoundedOnePass' ./internal/check
+	$(GO) test -race -count=1 -run 'TestBounded|TestSearchBudget' ./internal/baseline/online ./internal/minsize
+	$(GO) test -race -count=1 -run 'TestBounded|TestBudgetConflict' ./internal/server
 
 # Full gate: vet + build + race-detector test run (exercises the parallel
 # trainer and evaluation paths) + a fuzz smoke pass over every fuzz

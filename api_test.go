@@ -262,6 +262,36 @@ func TestMinSizeAPI(t *testing.T) {
 	}
 }
 
+func TestBoundedAPI(t *testing.T) {
+	tr := Generate(Geolife(), 17, 1, 120)[0]
+	const bound = 10.0
+	for name, f := range map[string]struct {
+		m   Measure
+		run func() (Trajectory, error)
+	}{
+		"cised": {SED, func() (Trajectory, error) { return CISED(tr, bound) }},
+		"operb": {PED, func() (Trajectory, error) { return OPERB(tr, bound) }},
+	} {
+		out, err := f.run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		e, err := Error(f.m, tr, out)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if e > bound {
+			t.Errorf("%s: error %v exceeds bound %v", name, e, bound)
+		}
+		if len(out) >= len(tr) {
+			t.Errorf("%s: no compression (kept %d of %d)", name, len(out), len(tr))
+		}
+	}
+	if _, err := CISED(tr, -1); err == nil {
+		t.Error("negative bound accepted")
+	}
+}
+
 func TestQueryAPI(t *testing.T) {
 	tr := Generate(Truck(), 19, 1, 100)[0]
 	p := PositionAt(tr, tr[50].T)

@@ -1,0 +1,34 @@
+package rlts
+
+import (
+	"rlts/internal/baseline/online"
+)
+
+// The one-pass error-bounded simplifiers: O(n) time, O(1) working
+// memory, and a hard guarantee that the simplification error stays
+// within the bound (re-proved against the exact error oracle by the
+// internal/check pillar). They are the production rivals of the
+// Min-Size search: far faster, at some cost in compression. Library
+// extensions beyond the paper's evaluation, like the Min-Size family.
+
+// CISED returns a simplification of t whose SED error is guaranteed to
+// stay within bound, in one pass (the synchronous circle intersection
+// test of Lin et al., arXiv:1801.05360).
+func CISED(t Trajectory, bound float64) (Trajectory, error) {
+	kept, err := online.CISED(t, bound)
+	if err != nil {
+		return nil, err
+	}
+	return t.Pick(kept), nil
+}
+
+// OPERB returns a simplification of t whose PED error is guaranteed to
+// stay within bound, in one pass (the directed fitting-function bound
+// of Lin et al., arXiv:1702.05597).
+func OPERB(t Trajectory, bound float64) (Trajectory, error) {
+	kept, err := online.OPERB(t, bound)
+	if err != nil {
+		return nil, err
+	}
+	return t.Pick(kept), nil
+}

@@ -133,6 +133,43 @@ func Recommend(t traj.Trajectory) (errm.Measure, Features) {
 	}
 }
 
+// BoundedAlgo names a backend of the error-bounded serving mode
+// (POST /v1/simplify with "bound").
+type BoundedAlgo string
+
+const (
+	// BoundedCISED is the one-pass SED-bounded simplifier.
+	BoundedCISED BoundedAlgo = "cised"
+	// BoundedOPERB is the one-pass PED-bounded simplifier.
+	BoundedOPERB BoundedAlgo = "operb"
+	// BoundedMinSize is the Min-Size binary search over a Min-Error
+	// algorithm (typically the RL policy).
+	BoundedMinSize BoundedAlgo = "minsize"
+)
+
+// RecommendBounded picks the backend for an error-bounded request on t
+// under measure m. DAD and SAD have no one-pass error-bounded
+// competitor, so they always go to the Min-Size search. For SED/PED the
+// O(n) one-pass algorithms win on throughput, except where their greedy
+// cuts forfeit most of the compression: short trajectories (the search
+// is cheap there) and heading-churning ones (a one-pass feasibility
+// region collapses at every turn, while the Min-Size search still finds
+// segments spanning them). The thresholds are prototype-simple, like
+// Recommend's.
+func RecommendBounded(t traj.Trajectory, m errm.Measure) (BoundedAlgo, Features) {
+	f := Extract(t)
+	switch m {
+	case errm.SED, errm.PED:
+		if len(t) >= 32 && f.HeadingChurn <= math.Pi/4 {
+			if m == errm.SED {
+				return BoundedCISED, f
+			}
+			return BoundedOPERB, f
+		}
+	}
+	return BoundedMinSize, f
+}
+
 // Simplifier is a per-measure Min-Error algorithm (budget in, kept
 // indices out).
 type Simplifier func(t traj.Trajectory, w int, m errm.Measure) ([]int, error)
@@ -145,27 +182,7 @@ type Simplifier func(t traj.Trajectory, w int, m errm.Measure) ([]int, error)
 // scales become comparable.
 func SelectBalanced(t traj.Trajectory, w int, f Simplifier) (errm.Measure, []int, error) {
 	feats := Extract(t)
-	scale := func(m errm.Measure) float64 {
-		switch m {
-		case errm.SED, errm.PED:
-			if feats.MeanStep > 0 {
-				return feats.MeanStep
-			}
-		case errm.DAD:
-			if feats.HeadingChurn > 0 {
-				return feats.HeadingChurn
-			}
-		case errm.SAD:
-			var sum float64
-			for i := 1; i < len(t); i++ {
-				sum += t.Segment(i-1, i).Speed()
-			}
-			if mean := sum / float64(len(t)-1); mean > 0 {
-				return mean
-			}
-		}
-		return 1
-	}
+	scale := func(m errm.Measure) float64 { return measureScale(t, feats, m) }
 	bestScore := math.Inf(1)
 	var bestM errm.Measure
 	var bestKept []int
@@ -187,4 +204,38 @@ func SelectBalanced(t traj.Trajectory, w int, f Simplifier) (errm.Measure, []int
 		}
 	}
 	return bestM, bestKept, nil
+}
+
+// measureScale returns the normalization scale for m's errors on t.
+// Every scale is guarded against overflow: one extreme-coordinate or
+// near-zero-dt segment used to drive the SAD speed sum to +Inf, which
+// made the normalized SAD error 0 for every candidate and silently
+// removed SAD from the balance. A non-finite or non-positive scale
+// falls back to 1 (unnormalized), which keeps the measure in play.
+func measureScale(t traj.Trajectory, feats Features, m errm.Measure) float64 {
+	switch m {
+	case errm.SED, errm.PED:
+		if usableScale(feats.MeanStep) {
+			return feats.MeanStep
+		}
+	case errm.DAD:
+		if usableScale(feats.HeadingChurn) {
+			return feats.HeadingChurn
+		}
+	case errm.SAD:
+		var sum float64
+		for i := 1; i < len(t); i++ {
+			sum += t.Segment(i-1, i).Speed()
+		}
+		if mean := sum / float64(len(t)-1); usableScale(mean) {
+			return mean
+		}
+	}
+	return 1
+}
+
+// usableScale reports whether v can divide an error without destroying
+// its signal: positive and finite.
+func usableScale(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1) && !math.IsNaN(v)
 }

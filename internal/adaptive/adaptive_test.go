@@ -133,6 +133,65 @@ func TestSelectBalanced(t *testing.T) {
 	}
 }
 
+func TestMeasureScaleGuardsOverflow(t *testing.T) {
+	// Regression: an extreme-coordinate segment drives the SAD speed sum
+	// (and the MeanStep length sum) to +Inf, which used to make the
+	// normalized error 0 for every candidate and silently drop the
+	// measure from the balance. All scales must stay usable divisors.
+	const mag = 8e307
+	tr := traj.Trajectory{
+		geo.Pt(-mag, 0, 0), geo.Pt(mag, 0, 1), geo.Pt(-mag, 0, 2),
+		geo.Pt(mag, 0, 3), geo.Pt(0, 0, 4), geo.Pt(1, 0, 5),
+	}
+	feats := Extract(tr)
+	for _, m := range errm.Measures {
+		s := measureScale(tr, feats, m)
+		if !usableScale(s) {
+			t.Errorf("measureScale(%v) = %v, not a usable divisor", m, s)
+		}
+	}
+	if s := measureScale(tr, feats, errm.SAD); s != 1 {
+		t.Errorf("SAD scale = %v on overflowing speeds, want fallback 1", s)
+	}
+	// End to end: the ensemble must still return a valid simplification.
+	m, kept, err := SelectBalanced(tr, 4, func(t traj.Trajectory, w int, m errm.Measure) ([]int, error) {
+		return batch.BottomUp(t, w, m)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Valid() || len(kept) > 4 || !tr.Pick(kept).IsSimplificationOf(tr) {
+		t.Errorf("invalid balanced result: measure %v kept %v", m, kept)
+	}
+}
+
+func TestRecommendBounded(t *testing.T) {
+	smooth := mkTraj(100, 0, []float64{2}, []float64{1})
+	zigzag := mkTraj(100, 2, []float64{2}, []float64{1})
+	short := mkTraj(10, 0, []float64{2}, []float64{1})
+	tests := []struct {
+		name string
+		tr   traj.Trajectory
+		m    errm.Measure
+		want BoundedAlgo
+	}{
+		{"smooth SED -> one-pass CISED", smooth, errm.SED, BoundedCISED},
+		{"smooth PED -> one-pass OPERB", smooth, errm.PED, BoundedOPERB},
+		{"DAD has no one-pass rival", smooth, errm.DAD, BoundedMinSize},
+		{"SAD has no one-pass rival", smooth, errm.SAD, BoundedMinSize},
+		{"heading churn defeats one-pass", zigzag, errm.PED, BoundedMinSize},
+		{"short input -> search is cheap", short, errm.SED, BoundedMinSize},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, feats := RecommendBounded(tc.tr, tc.m)
+			if got != tc.want {
+				t.Errorf("RecommendBounded = %v, want %v (features %+v)", got, tc.want, feats)
+			}
+		})
+	}
+}
+
 func TestSelectBalancedPropagatesErrors(t *testing.T) {
 	tr := gen.New(gen.Geolife(), 8).Trajectory(50)
 	_, _, err := SelectBalanced(tr, 10, func(t traj.Trajectory, w int, m errm.Measure) ([]int, error) {

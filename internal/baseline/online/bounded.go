@@ -1,0 +1,272 @@
+// Error-bounded one-pass simplifiers: the O(n) production rivals of the
+// Min-Error algorithms. Instead of a point budget W they take an error
+// bound eps and keep as few points as they can while *guaranteeing* the
+// simplification error stays within eps:
+//
+//	CISED — "One-Pass Trajectory Simplification Using the Synchronous
+//	        Euclidean Distance" (Lin et al., arXiv:1801.05360). Bounds
+//	        the SED via the synchronous circle intersection test: in
+//	        velocity space every skipped point constrains the segment's
+//	        average velocity to a disk, and a candidate endpoint is
+//	        feasible while its velocity stays inside the intersection.
+//	        This is the strong (CISED-S) variant: kept points are
+//	        original points.
+//	OPERB — "One-Pass Error Bounded Trajectory Simplification" (Lin et
+//	        al., arXiv:1702.05597). Bounds the PED via a directed
+//	        fitting function: every skipped point constrains the
+//	        segment's direction to an angular sector around the anchor,
+//	        and the endpoint must reach at least as far as every point
+//	        it covers so clamped projections stay on the segment.
+//
+// Both run one pass in O(n) time and O(1) working memory (CISED keeps
+// cisedEdges scalars, OPERB a sector and a distance). The bound is proved
+// against the exact errm.Error oracle by the internal/check pillar
+// (bounded_test.go) over every adversarial family; the serving mode
+// (POST /v1/simplify with "bound") re-scores every response the same way.
+//
+// # Degenerate inputs
+//
+// A negative, NaN or Inf eps is an error. eps == 0 keeps every point
+// (error exactly 0). n < 2 is traj.ErrTooShort. Non-finite intermediate
+// arithmetic (extreme ±6e307 coordinates overflowing a difference, or a
+// non-increasing time span from an unvalidated caller) never breaks the
+// bound: any non-finite feasibility quantity conservatively fails the
+// test, which only keeps more points.
+package online
+
+import (
+	"fmt"
+	"math"
+
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+// cisedEdges is the number of half-planes approximating each synchronous
+// circle (the paper's inscribed regular m-gon; m=16 loses at most
+// 1-cos(pi/16) ~ 1.9% of the feasible disk).
+const cisedEdges = 16
+
+// boundGuard shrinks the requested bound by one part in 1e9 before any
+// feasibility arithmetic, so the simplifier's rounding can never land a
+// kept set epsilon-above the bound when the exact oracle re-scores it.
+// The slack is ~7 decimal orders above float64 rounding noise and ~7
+// below any meaningful bound, so it never changes a real decision.
+const boundGuard = 1 - 1e-9
+
+// feasSlack returns the absolute slack the feasibility tests must leave
+// against the exact oracle's re-scoring at coordinate magnitude mag: the
+// relative boundGuard is useless once the requested bound drops below
+// the oracle's own rounding floor. The geo fast paths round at ~1e-15
+// relative to the coordinates; the overflow-guarded wide paths (which
+// engage above ~1e150, where squared differences overflow) are proven
+// only to 1e-9 relative by the scaling differential in internal/check —
+// the slack sits a couple of orders above each. A bound below this floor
+// makes every skip unprovable, and the simplifiers honestly degrade to
+// the identity simplification (error exactly 0) instead of returning a
+// kept set the oracle could score above the bound.
+func feasSlack(mag float64) float64 {
+	if mag > 1e150 {
+		return mag * 1e-8
+	}
+	return mag * 1e-13
+}
+
+// coordMag returns the largest coordinate component magnitude of t.
+func coordMag(t traj.Trajectory) float64 {
+	var m float64
+	for _, p := range t {
+		m = math.Max(m, math.Max(math.Abs(p.X), math.Abs(p.Y)))
+	}
+	return m
+}
+
+func checkBound(n int, eps float64) error {
+	if n < 2 {
+		return traj.ErrTooShort
+	}
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return fmt.Errorf("online: error bound must be finite and >= 0, got %v", eps)
+	}
+	return nil
+}
+
+// CISED simplifies t to the kept indices of an error-bounded
+// simplification with SED error <= eps, in one O(n) pass (CISED-S).
+//
+// For the anchor P_s, a candidate endpoint P_k covers a skipped point P_i
+// within SED eps iff the segment's average velocity v = (P_k-P_s)/(t_k-t_s)
+// lies in the disk centered at v_i = (P_i-P_s)/(t_i-t_s) with radius
+// eps/(t_i-t_s) — the synchronous circle, independent of t_k. The pass
+// maintains the intersection of the inscribed regular cisedEdges-gons of
+// those disks as one half-plane offset per fixed edge direction (O(1)
+// state); when the next point's velocity falls outside, the previous
+// point is emitted and becomes the new anchor.
+func CISED(t traj.Trajectory, eps float64) ([]int, error) {
+	n := len(t)
+	if err := checkBound(n, eps); err != nil {
+		return nil, err
+	}
+	if eps = eps*boundGuard - feasSlack(coordMag(t)); eps <= 0 {
+		// Zero bound, or a bound below the oracle's rounding floor at this
+		// coordinate scale: no skip is provable, keep every point.
+		return allIndices(n), nil
+	}
+
+	// Fixed edge normals shared by every inscribed polygon: the region is
+	// {v : nx[j]*v.x + ny[j]*v.y <= off[j]} and a disk (c, r) contributes
+	// off[j] = min(off[j], n_j·c + r*cos(pi/m)).
+	var nx, ny, off [cisedEdges]float64
+	for j := range nx {
+		a := 2 * math.Pi * (float64(j) + 0.5) / cisedEdges
+		nx[j], ny[j] = math.Cos(a), math.Sin(a)
+	}
+	inset := math.Cos(math.Pi / cisedEdges)
+	reset := func() {
+		for j := range off {
+			off[j] = math.Inf(1)
+		}
+	}
+	reset()
+
+	kept := []int{0}
+	s := 0
+	for k := 1; k < n; k++ {
+		dt := t[k].T - t[s].T
+		vx := (t[k].X - t[s].X) / dt
+		vy := (t[k].Y - t[s].Y) / dt
+		feasible := dt > 0 && isFinite(vx) && isFinite(vy)
+		for j := 0; feasible && j < cisedEdges; j++ {
+			// A NaN product fails the comparison, hence the test: exactly
+			// the conservative behavior the package doc promises.
+			if !(nx[j]*vx+ny[j]*vy <= off[j]) {
+				feasible = false
+			}
+		}
+		if !feasible {
+			// Emit the last feasible endpoint and restart behind k. When k
+			// is the anchor's immediate successor the adjacent segment
+			// s->k has zero error by definition, so k itself is kept.
+			if k == s+1 {
+				kept = append(kept, k)
+				s = k
+			} else {
+				kept = append(kept, k-1)
+				s = k - 1
+				k-- // reprocess k against the new anchor
+			}
+			reset()
+			continue
+		}
+		// P_k joins the covered prefix: its synchronous circle (center is
+		// its own velocity) constrains all later endpoints.
+		r := eps / dt
+		for j := range off {
+			if o := nx[j]*vx + ny[j]*vy + r*inset; o < off[j] || math.IsNaN(o) {
+				// A NaN offset (overflowed center on the extreme families)
+				// poisons the region so the next point cuts: conservative.
+				off[j] = o
+			}
+		}
+	}
+	return appendLast(kept, n-1), nil
+}
+
+// OPERB simplifies t to the kept indices of an error-bounded
+// simplification with PED error <= eps, in one O(n) pass.
+//
+// For the anchor P_s, a skipped point P_i farther than eps from P_s
+// constrains the segment's direction to the sector of half-angle
+// asin(eps/|P_sP_i|) around the direction of P_i (the directed fitting
+// function); a point within eps of the anchor is covered by any segment
+// (the anchor itself is on it). The endpoint must additionally reach at
+// least as far from the anchor as every covered point, so the oracle's
+// clamped projection cannot slide past the segment end. The pass keeps
+// one sector (center, half-width) and one distance.
+func OPERB(t traj.Trajectory, eps float64) ([]int, error) {
+	n := len(t)
+	if err := checkBound(n, eps); err != nil {
+		return nil, err
+	}
+	if eps = eps*boundGuard - feasSlack(coordMag(t)); eps <= 0 {
+		// Zero bound, or a bound below the oracle's rounding floor at this
+		// coordinate scale: no skip is provable, keep every point.
+		return allIndices(n), nil
+	}
+
+	var (
+		hasSector bool    // false: every direction is still feasible
+		secC      float64 // sector center direction (radians)
+		secW      float64 // sector half-width; < 0 marks an empty sector
+		maxD      float64 // farthest covered point from the anchor
+	)
+	reset := func() { hasSector, secC, secW, maxD = false, 0, 0, 0 }
+
+	kept := []int{0}
+	s := 0
+	for k := 1; k < n; k++ {
+		d := geo.Dist(t[s], t[k])
+		theta := math.Atan2(t[k].Y-t[s].Y, t[k].X-t[s].X)
+		feasible := isFinite(d) && d >= maxD
+		if feasible && hasSector {
+			feasible = secW >= 0 && math.Abs(angDiff(theta, secC)) <= secW
+		}
+		if !feasible {
+			if k == s+1 {
+				kept = append(kept, k)
+				s = k
+			} else {
+				kept = append(kept, k-1)
+				s = k - 1
+				k--
+			}
+			reset()
+			continue
+		}
+		if d > maxD {
+			maxD = d
+		}
+		if d > eps {
+			// Constraining point: intersect the sector with its cone.
+			w := math.Asin(eps / d)
+			if !hasSector {
+				hasSector, secC, secW = true, theta, w
+			} else {
+				// Work in the frame of the current center: the new arc is
+				// [delta-w, delta+w], the old one [-secW, secW].
+				delta := angDiff(theta, secC)
+				lo := math.Max(-secW, delta-w)
+				hi := math.Min(secW, delta+w)
+				secC = math.Atan2(math.Sin(secC+(lo+hi)/2), math.Cos(secC+(lo+hi)/2))
+				secW = (hi - lo) / 2 // < 0: empty, next point cuts
+			}
+		}
+	}
+	return appendLast(kept, n-1), nil
+}
+
+// appendLast closes the open segment at the final point, which is already
+// present when the last processed point was kept by a cut.
+func appendLast(kept []int, last int) []int {
+	if kept[len(kept)-1] == last {
+		return kept
+	}
+	return append(kept, last)
+}
+
+// angDiff returns the signed angular difference a-b folded into
+// (-pi, pi].
+func angDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	switch {
+	case d > math.Pi:
+		d -= 2 * math.Pi
+	case d <= -math.Pi:
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

@@ -1,0 +1,197 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"rlts/internal/errm"
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+type boundedAlgo struct {
+	name string
+	m    errm.Measure
+	run  func(traj.Trajectory, float64) ([]int, error)
+}
+
+func boundedAlgos() []boundedAlgo {
+	return []boundedAlgo{
+		{"CISED", errm.SED, CISED},
+		{"OPERB", errm.PED, OPERB},
+	}
+}
+
+// requireBound asserts kept is a valid simplification of tr whose error
+// under the algorithm's measure does not exceed eps.
+func requireBound(t *testing.T, a boundedAlgo, tr traj.Trajectory, eps float64, kept []int) {
+	t.Helper()
+	if err := errm.CheckKept(tr, kept); err != nil {
+		t.Fatalf("%s eps=%v: invalid kept %v: %v", a.name, eps, kept, err)
+	}
+	e := errm.Error(a.m, tr, kept)
+	if math.IsNaN(e) || math.IsInf(e, 0) {
+		t.Fatalf("%s eps=%v: non-finite error %v", a.name, eps, e)
+	}
+	if e > eps {
+		t.Fatalf("%s: error %v exceeds bound %v (kept %v)", a.name, e, eps, kept)
+	}
+}
+
+func TestBoundedMeetsBoundOnGenerated(t *testing.T) {
+	for _, a := range boundedAlgos() {
+		for _, n := range []int{2, 3, 10, 120} {
+			tr := testTraj(int64(n), n)
+			for _, eps := range []float64{1e-9, 0.5, 5, 500} {
+				kept, err := a.run(tr, eps)
+				if err != nil {
+					t.Fatalf("%s n=%d eps=%v: %v", a.name, n, eps, err)
+				}
+				requireBound(t, a, tr, eps, kept)
+			}
+		}
+	}
+}
+
+func TestBoundedCompressesEasyShapes(t *testing.T) {
+	// Constant-velocity collinear motion: both simplifiers must see that
+	// two points suffice (exact arithmetic on small integers).
+	line := make(traj.Trajectory, 0, 50)
+	for i := 0; i < 50; i++ {
+		line = append(line, geo.Pt(float64(2*i), float64(3*i), float64(i)))
+	}
+	// Stationary: zero-length segments everywhere.
+	still := make(traj.Trajectory, 0, 50)
+	for i := 0; i < 50; i++ {
+		still = append(still, geo.Pt(7, -3, float64(i)))
+	}
+	for _, a := range boundedAlgos() {
+		for name, tr := range map[string]traj.Trajectory{"line": line, "stationary": still} {
+			kept, err := a.run(tr, 0.25)
+			if err != nil {
+				t.Fatalf("%s %s: %v", a.name, name, err)
+			}
+			requireBound(t, a, tr, 0.25, kept)
+			if len(kept) != 2 {
+				t.Errorf("%s %s: kept %d points, want 2", a.name, name, len(kept))
+			}
+		}
+	}
+	// OPERB on a variable-speed line still keeps 2 (PED ignores time);
+	// CISED must keep more (SED does not) yet stay under the bound.
+	varSpeed := make(traj.Trajectory, 0, 40)
+	tm := 0.0
+	for i := 0; i < 40; i++ {
+		varSpeed = append(varSpeed, geo.Pt(float64(i*i), 0, tm))
+		tm += 1
+	}
+	kept, err := OPERB(varSpeed, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 {
+		t.Errorf("OPERB variable-speed line: kept %d, want 2", len(kept))
+	}
+	ck, err := CISED(varSpeed, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBound(t, boundedAlgos()[0], varSpeed, 0.25, ck)
+	if len(ck) <= 2 {
+		t.Errorf("CISED variable-speed line: kept %d, expected > 2 (SED is time-aware)", len(ck))
+	}
+}
+
+func TestBoundedDegenerateInputs(t *testing.T) {
+	for _, a := range boundedAlgos() {
+		// n < 2.
+		if _, err := a.run(nil, 1); err == nil {
+			t.Errorf("%s: no error for empty trajectory", a.name)
+		}
+		if _, err := a.run(traj.Trajectory{geo.Pt(0, 0, 0)}, 1); err == nil {
+			t.Errorf("%s: no error for 1-point trajectory", a.name)
+		}
+		two := traj.Trajectory{geo.Pt(0, 0, 0), geo.Pt(1, 1, 1)}
+		// Invalid bounds.
+		for _, eps := range []float64{-1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+			if _, err := a.run(two, eps); err == nil {
+				t.Errorf("%s: no error for eps=%v", a.name, eps)
+			}
+		}
+		// eps == 0 keeps everything: trivially within the bound.
+		zigzag := traj.Trajectory{
+			geo.Pt(0, 0, 0), geo.Pt(1, 50, 1), geo.Pt(2, -50, 2), geo.Pt(3, 50, 3), geo.Pt(4, 0, 4),
+		}
+		kept, err := a.run(zigzag, 0)
+		if err != nil {
+			t.Fatalf("%s eps=0: %v", a.name, err)
+		}
+		if len(kept) != len(zigzag) {
+			t.Errorf("%s eps=0: kept %d of %d", a.name, len(kept), len(zigzag))
+		}
+		requireBound(t, a, zigzag, 0, kept)
+		// n == 2 is already simplified.
+		kept, err = a.run(two, 1)
+		if err != nil {
+			t.Fatalf("%s n=2: %v", a.name, err)
+		}
+		if len(kept) != 2 || kept[0] != 0 || kept[1] != 1 {
+			t.Errorf("%s n=2: kept %v", a.name, kept)
+		}
+	}
+}
+
+func TestBoundedExtremeCoordinates(t *testing.T) {
+	// The ±6e307 corner-jumping family: coordinate differences stay finite
+	// but squares overflow. The simplifiers must neither panic nor emit a
+	// kept set the exact oracle scores above the bound, and may fall back
+	// to keeping everything (adjacent segments have zero error).
+	const mag = 6e307
+	tr := traj.Trajectory{
+		geo.Pt(mag, mag, 0), geo.Pt(-mag, mag, 2), geo.Pt(-mag, -mag, 4),
+		geo.Pt(mag, -mag, 6), geo.Pt(0, 0, 8), geo.Pt(mag, 0, 10), geo.Pt(mag, mag, 12),
+	}
+	for _, a := range boundedAlgos() {
+		for _, eps := range []float64{1, 1e300} {
+			kept, err := a.run(tr, eps)
+			if err != nil {
+				t.Fatalf("%s eps=%v: %v", a.name, eps, err)
+			}
+			requireBound(t, a, tr, eps, kept)
+		}
+	}
+}
+
+func TestBoundedUnorderedTimestampsKeepEverything(t *testing.T) {
+	// Library callers bypassing traj validation must still get a valid,
+	// bound-satisfying answer: a non-positive time span conservatively
+	// cuts, degrading to the identity simplification.
+	tr := traj.Trajectory{geo.Pt(0, 0, 5), geo.Pt(1, 0, 3), geo.Pt(2, 0, 1)}
+	kept, err := CISED(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 3 {
+		t.Errorf("CISED unordered: kept %v, want identity", kept)
+	}
+}
+
+func BenchmarkCISED(b *testing.B) {
+	tr := testTraj(1, 5000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CISED(tr, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOPERB(b *testing.B) {
+	tr := testTraj(1, 5000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := OPERB(tr, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package check
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rlts/internal/baseline/online"
+	"rlts/internal/errm"
+	"rlts/internal/minsize"
+	"rlts/internal/traj"
+)
+
+// The error-bounded one-pass pillar: CISED (SED) and OPERB (PED) promise
+// that every kept-index set they return scores at or below the requested
+// bound under the *exact* errm.Error oracle — not under their own
+// internal feasibility arithmetic. This file holds them to it across
+// every adversarial family, including the overflow-probing extreme/huge
+// families and the 1e-12 time deltas of near-dup-times, and calibrates
+// their compression against minsize.Optimal on brute-forceable inputs.
+// (The third backend of the bound=eps serving mode, minsize.SearchBudget,
+// has its own oracle pillar in minsize_test.go.)
+
+type boundedOnePass struct {
+	name string
+	m    errm.Measure
+	run  func(traj.Trajectory, float64) ([]int, error)
+}
+
+func boundedOnePasses() []boundedOnePass {
+	return []boundedOnePass{
+		{"CISED", errm.SED, online.CISED},
+		{"OPERB", errm.PED, online.OPERB},
+	}
+}
+
+// boundsFor derives bound values spanning the trajectory's own error
+// scale: fractions of the single-segment (keep-only-endpoints) error,
+// which is finite by generator design, plus a near-zero and a
+// generously-large absolute bound.
+func boundsFor(m errm.Measure, tr traj.Trajectory) []float64 {
+	whole := errm.SegmentError(m, tr, 0, len(tr)-1)
+	bounds := []float64{0, 1e-12, 1e6}
+	for _, frac := range []float64{0.05, 0.3, 1.1} {
+		// The whole-segment error itself overflows on the extreme family;
+		// a non-finite bound is rejected by the simplifiers by contract.
+		if b := whole * frac; b > 0 && !math.IsInf(b, 0) {
+			bounds = append(bounds, b)
+		}
+	}
+	return bounds
+}
+
+func TestBoundedOnePassBoundProof(t *testing.T) {
+	for _, g := range generators {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			rounds := scaled(8)
+			for round := 0; round < rounds; round++ {
+				r := rand.New(rand.NewSource(int64(9000 + round)))
+				tr := g.gen(r, 2+r.Intn(150))
+				for _, a := range boundedOnePasses() {
+					for _, eps := range boundsFor(a.m, tr) {
+						kept, err := a.run(tr, eps)
+						if err != nil {
+							t.Fatalf("%s %s eps=%v: %v", g.name, a.name, eps, err)
+						}
+						if err := errm.CheckKept(tr, kept); err != nil {
+							t.Fatalf("%s %s eps=%v: invalid kept: %v", g.name, a.name, eps, err)
+						}
+						// The exact oracle is the judge, not the
+						// simplifier's feasibility arithmetic.
+						if e := errm.Error(a.m, tr, kept); e > eps {
+							t.Fatalf("%s %s: oracle error %v exceeds bound %v (n=%d kept=%d)",
+								g.name, a.name, e, eps, len(tr), len(kept))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBoundedOnePassCompressionVsOptimal(t *testing.T) {
+	// On small inputs the DP gives the true minimum size: the one-pass
+	// algorithms may never beat it (that would mean the oracle and the
+	// one-pass bound disagree) and should land within a small factor of
+	// it on the well-conditioned families.
+	for _, g := range moderateGenerators {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			var keptSum, optSum int
+			rounds := scaled(6)
+			for round := 0; round < rounds; round++ {
+				r := rand.New(rand.NewSource(int64(9500 + round)))
+				tr := g.gen(r, 8+r.Intn(20))
+				for _, a := range boundedOnePasses() {
+					for _, eps := range boundsFor(a.m, tr) {
+						kept, err := a.run(tr, eps)
+						if err != nil {
+							t.Fatal(err)
+						}
+						opt, err := minsize.Optimal(tr, eps, a.m)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(kept) < len(opt) {
+							t.Fatalf("%s %s eps=%v: one-pass kept %d < optimal %d — bound oracle disagreement",
+								g.name, a.name, eps, len(kept), len(opt))
+						}
+						keptSum += len(kept)
+						optSum += len(opt)
+					}
+				}
+			}
+			if optSum > 0 {
+				ratio := float64(keptSum) / float64(optSum)
+				t.Logf("%s: one-pass/optimal kept-size ratio %.3f", g.name, ratio)
+				// One pass costs compression, but an unbounded blowup
+				// would mean the feasibility test is effectively always
+				// cutting. Keep a loose ceiling so regressions surface.
+				if ratio > 3 {
+					t.Errorf("%s: one-pass keeps %.1fx the optimal points — feasibility test degraded", g.name, ratio)
+				}
+			}
+		})
+	}
+}

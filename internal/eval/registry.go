@@ -32,6 +32,7 @@ func Experiments() []Experiment {
 		{"infer", "§VI-A ablation (sampling vs greedy inference)", ExpInference},
 		{"query", "§I motivation (query answering on simplified data)", ExpQuery},
 		{"fleet", "collective extension (shared-budget allocation vs query accuracy)", ExpFleet},
+		{"bounded", "error-bounded extension (CISED/OPERB vs Min-Size search)", ExpBounded},
 		{"noise", "robustness extension (GPS outliers)", ExpNoise},
 		{"storage", "§I motivation (storage cost in bytes)", ExpStorage},
 	}

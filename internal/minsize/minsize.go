@@ -15,6 +15,7 @@
 package minsize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -130,12 +131,22 @@ var ErrInvalidSimplification = errors.New("minsize: simplifier returned invalid 
 // output that is not a valid simplification of t yields an error wrapping
 // ErrInvalidSimplification rather than a panic.
 func SearchBudget(t traj.Trajectory, bound float64, m errm.Measure, f MinErrorFunc) ([]int, error) {
+	return SearchBudgetCtx(context.Background(), t, bound, m, f)
+}
+
+// SearchBudgetCtx is SearchBudget with cancellation: ctx is checked
+// before every probed budget, so a serving deadline cuts off the linear
+// fallback scan (up to n probes of f) instead of riding it out.
+func SearchBudgetCtx(ctx context.Context, t traj.Trajectory, bound float64, m errm.Measure, f MinErrorFunc) ([]int, error) {
 	if err := check(t, bound, m); err != nil {
 		return nil, err
 	}
 	n := len(t)
 	// eval probes one budget, validating f's output before measuring it.
 	eval := func(w int) (kept []int, feasible bool, err error) {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		kept, err = f(t, w)
 		if err != nil {
 			return nil, false, err

@@ -1,8 +1,11 @@
 package minsize
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"rlts/internal/baseline/batch"
 	"rlts/internal/errm"
@@ -124,6 +127,33 @@ func TestSearchBudget(t *testing.T) {
 		if errm.Error(errm.SED, tr, tighter) <= bound {
 			t.Errorf("budget %d also satisfies the bound; search not minimal", len(kept)-3)
 		}
+	}
+}
+
+func TestSearchBudgetCtxCancellation(t *testing.T) {
+	tr := testTraj(11, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err := SearchBudgetCtx(ctx, tr, 0.5, errm.SED, func(t traj.Trajectory, w int) ([]int, error) {
+		calls++
+		cancel() // cancel mid-search: the next probe must not run
+		return batch.BottomUp(t, w, errm.SED)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Errorf("simplifier probed %d times after cancellation, want 1", calls)
+	}
+	// An already-expired deadline stops before the first probe.
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel2()
+	_, err = SearchBudgetCtx(expired, tr, 0.5, errm.SED, func(_ traj.Trajectory, w int) ([]int, error) {
+		t.Fatal("probe ran under an expired deadline")
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }
 

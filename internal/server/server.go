@@ -94,15 +94,16 @@ const (
 
 // Server routes simplification requests to registered algorithms.
 type Server struct {
-	mux      *http.ServeMux
-	cfg      Config
-	policies map[string]*core.Trained // lower-case name -> policy
-	fast     map[string]*core.Trained // FastClones under the same keys (see fast.go)
-	simp     *policyPools
-	fastReq  *obs.Counter
-	streams  *streamManager
-	fleets   *fleetManager
-	batch    *batchRunner
+	mux        *http.ServeMux
+	cfg        Config
+	policies   map[string]*core.Trained // lower-case name -> policy
+	fast       map[string]*core.Trained // FastClones under the same keys (see fast.go)
+	simp       *policyPools
+	fastReq    *obs.Counter
+	boundUnmet *obs.Counter
+	streams    *streamManager
+	fleets     *fleetManager
+	batch      *batchRunner
 }
 
 // New creates a server with the given trained policies registered under
@@ -129,6 +130,8 @@ func NewWith(policies []*core.Trained, cfg Config) *Server {
 	s.simp = newPolicyPools()
 	s.fastReq = s.cfg.Metrics.Counter("rlts_fast_requests_total",
 		"Policy runs served with the FastMath kernels (?fast=1)")
+	s.boundUnmet = s.cfg.Metrics.Counter("rlts_bound_unmet_total",
+		"Error-bounded responses whose oracle-re-scored error exceeded the requested bound")
 	s.streams = newStreamManager(s.policies, s.cfg)
 	s.fleets = newFleetManager(s.cfg)
 	s.batch = newBatchRunner(s.cfg)
@@ -190,12 +193,16 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]interface{}{"algorithms": names})
 }
 
-// simplifyRequest is the wire format of POST /v1/simplify.
+// simplifyRequest is the wire format of POST /v1/simplify. Exactly one
+// of w/ratio (Min-Error: fixed budget, smallest error) or bound
+// (Min-Size: fixed error, smallest output) may be set; see bounded.go
+// for the bound mode.
 type simplifyRequest struct {
 	Algorithm string       `json:"algorithm"`
 	Measure   string       `json:"measure"`
 	W         int          `json:"w"`
 	Ratio     float64      `json:"ratio"`
+	Bound     *float64     `json:"bound,omitempty"`
 	Points    [][3]float64 `json:"points"`
 }
 
@@ -205,6 +212,8 @@ type simplifyResponse struct {
 	Kept      int          `json:"kept"`
 	Of        int          `json:"of"`
 	Error     float64      `json:"error"`
+	Bound     *float64     `json:"bound,omitempty"`     // echo of the requested bound
+	BoundMet  *bool        `json:"bound_met,omitempty"` // re-scored by the exact oracle
 	Points    [][3]float64 `json:"points"`
 }
 
@@ -247,6 +256,13 @@ func (s *Server) parseTrajectory(w http.ResponseWriter, points [][3]float64) tra
 // request is already answered.
 func budget(w http.ResponseWriter, req *simplifyRequest, n int) (int, bool) {
 	if req.W != 0 {
+		if req.Ratio != 0 {
+			// A conflicting pair used to be resolved silently in w's favor;
+			// the caller meant something, and guessing which half hides bugs.
+			httpError(w, http.StatusBadRequest, codeInvalidBudget,
+				"w (%d) and ratio (%g) are mutually exclusive; send one", req.W, req.Ratio)
+			return 0, false
+		}
 		if req.W < 2 {
 			httpError(w, http.StatusBadRequest, codeInvalidBudget, "w must be >= 2, got %d", req.W)
 			return 0, false
@@ -289,6 +305,10 @@ func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, codeInvalidMeasure, "%v", err)
 			return
 		}
+	}
+	if req.Bound != nil {
+		s.serveBounded(w, r, &req, t, m)
+		return
 	}
 	b, ok := budget(w, &req, len(t))
 	if !ok {

@@ -9,20 +9,22 @@ import "fmt"
 
 // SplitAtGaps cuts t wherever consecutive points are more than maxGap
 // seconds apart and returns the resulting sub-trajectories in order.
-// A non-positive maxGap returns the trajectory unsplit.
+// A non-positive maxGap returns the trajectory unsplit. Every returned
+// segment owns its backing array: appending to one can never clobber a
+// neighbor or the input.
 func SplitAtGaps(t Trajectory, maxGap float64) []Trajectory {
 	if maxGap <= 0 || len(t) == 0 {
-		return []Trajectory{t}
+		return []Trajectory{t.Clone()}
 	}
 	var out []Trajectory
 	start := 0
 	for i := 1; i < len(t); i++ {
 		if t[i].T-t[i-1].T > maxGap {
-			out = append(out, t[start:i])
+			out = append(out, t[start:i].Clone())
 			start = i
 		}
 	}
-	return append(out, t[start:])
+	return append(out, t[start:].Clone())
 }
 
 // FilterShort drops trajectories with fewer than minPoints points.

@@ -45,6 +45,37 @@ func TestSplitAtGaps(t *testing.T) {
 	}
 }
 
+func TestSplitAtGapsSegmentsDoNotAlias(t *testing.T) {
+	// Regression: segments used to be sub-slices of the input's backing
+	// array, so appending to one (a routine act on a Trajectory value)
+	// silently overwrote the next segment's first points and the input.
+	tr := gapTraj([]float64{1, 1, 100, 1, 1, 200, 1})
+	orig := tr.Clone()
+	parts := SplitAtGaps(tr, 10)
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts, want 3", len(parts))
+	}
+	for i := range parts {
+		parts[i] = append(parts[i], geo.Pt(-999, -999, 1e9))
+	}
+	for i, p := range tr {
+		if !p.Equal(orig[i]) {
+			t.Fatalf("input point %d clobbered by append to a segment: %+v", i, p)
+		}
+	}
+	if got := parts[1][0]; !got.Equal(orig[3]) {
+		t.Fatalf("second segment's first point clobbered: %+v", got)
+	}
+	// The unsplit fast paths must copy too.
+	for _, maxGap := range []float64{0, 1000} {
+		out := SplitAtGaps(tr, maxGap)[0]
+		_ = append(out[:1], geo.Pt(-1, -1, -1))
+		if !tr[1].Equal(orig[1]) {
+			t.Fatalf("maxGap=%v: returned trajectory aliases the input", maxGap)
+		}
+	}
+}
+
 func TestSplitAtGapsPreservesPointsProperty(t *testing.T) {
 	f := func(raw []uint8, maxGapRaw uint8) bool {
 		if len(raw) == 0 {

@@ -59,6 +59,17 @@ CHECK_SCALE="${CHECK_SCALE:-4}" go test -race -count=1 -run 'TestFleetAllocateDi
 go test -race -count=1 ./internal/fleet
 go test -race -count=1 -run 'TestFleet|TestStreamList' ./internal/server
 
+# Error-bounded pillar: CISED/OPERB kept sets re-scored by the exact
+# oracle on every adversarial family (including the overflow-probing
+# extreme/huge ones) must never exceed the requested bound, and their
+# compression must stay within a small factor of the Min-Size DP. The
+# package suites add the degenerate-input contract and the bound=eps
+# HTTP routing. Same CHECK_SCALE knob deepens the sweep.
+echo "== error-bounded pillar (CHECK_SCALE=${CHECK_SCALE:-4}) =="
+CHECK_SCALE="${CHECK_SCALE:-4}" go test -race -count=1 -run 'TestBoundedOnePass' ./internal/check
+go test -race -count=1 -run 'TestBounded|TestSearchBudget' ./internal/baseline/online ./internal/minsize
+go test -race -count=1 -run 'TestBounded|TestBudgetConflict' ./internal/server
+
 # Crash-restart smoke with the real binary: boot with a spill dir, open a
 # session and push half a stream, SIGTERM (the drain path spills it),
 # restart against the same directory, push the rest and make sure the
