@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test check check-diff check-stream check-fleet check-bound bench-rollout bench-obs bench-batch bench-fast bench-load
+.PHONY: test check check-diff check-stream check-fleet check-bound check-dirty bench-rollout bench-obs bench-batch bench-fast bench-load
 
 test:
 	$(GO) test ./...
@@ -42,6 +42,19 @@ check-bound:
 	CHECK_SCALE=$${CHECK_SCALE:-4} $(GO) test -race -count=1 -run 'TestBoundedOnePass' ./internal/check
 	$(GO) test -race -count=1 -run 'TestBounded|TestSearchBudget' ./internal/baseline/online ./internal/minsize
 	$(GO) test -race -count=1 -run 'TestBounded|TestBudgetConflict' ./internal/server
+
+# Dirty-ingest pillar: the repair contract (output always satisfies the
+# strict FromPoints contract, clean input passes through bit-identically,
+# chunking and export/resume cuts are invisible), the repairer unit and
+# state-codec suites, the hostile generator families, and the server-level
+# repair wiring (one-shot, batch, stream, spill-envelope v2 restart
+# bit-identity, classified reject codes), race-enabled. CHECK_SCALE
+# deepens the differentials.
+check-dirty:
+	CHECK_SCALE=$${CHECK_SCALE:-4} $(GO) test -race -count=1 -run 'TestRepair' ./internal/check
+	$(GO) test -race -count=1 -run 'TestRepair|TestResumeRepairer|TestValidateDuplicateTime|TestDownsampleDirtyTail|TestCleanFloorsMinPoints' ./internal/traj
+	$(GO) test -race -count=1 -run 'TestDirty|TestFamilies|TestEveryFamilyRepairs|TestCorrupt|TestCompose|TestOutlierInStop|TestDupOfOutlier' ./internal/gen
+	$(GO) test -race -count=1 -run 'TestSimplifyRepair|TestBatchRepair|TestStreamRepair|TestStreamRejectCodes|TestSpillEnvelopeV1|TestPointsErrorCode' ./internal/server
 
 # Full gate: vet + build + race-detector test run (exercises the parallel
 # trainer and evaluation paths) + a fuzz smoke pass over every fuzz

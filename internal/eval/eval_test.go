@@ -87,8 +87,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 19 {
-		t.Errorf("registry has %d experiments, want 19 (every table and figure, plus the extension experiments)", len(exps))
+	if len(exps) != 20 {
+		t.Errorf("registry has %d experiments, want 20 (every table and figure, plus the extension experiments)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -34,6 +34,7 @@ func Experiments() []Experiment {
 		{"fleet", "collective extension (shared-budget allocation vs query accuracy)", ExpFleet},
 		{"bounded", "error-bounded extension (CISED/OPERB vs Min-Size search)", ExpBounded},
 		{"noise", "robustness extension (GPS outliers)", ExpNoise},
+		{"dirty", "robustness extension (dirty ingest: repair + per-defect-class error)", ExpDirty},
 		{"storage", "§I motivation (storage cost in bytes)", ExpStorage},
 	}
 }

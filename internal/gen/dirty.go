@@ -1,0 +1,225 @@
+package gen
+
+// Dirty-stream corruption: production GPS feeds deliver fixes
+// out-of-order, duplicated, gappy, noise-spiked and occasionally
+// outright non-finite. DirtyConfig layers those defect classes on top of
+// any clean generator profile — generate a trajectory with the usual
+// regime Config, then Corrupt it — so every hostile-ingest scenario is
+// seedable, composable and reproducible, the same way the clean
+// generator made the paper's datasets reproducible.
+//
+// Corrupt returns raw fixes ([]geo.Point, possibly invalid as a
+// trajectory) because its whole point is producing input that violates
+// the strict contract; the repair stage (traj.Repairer) is what turns it
+// back into a valid trajectory.
+
+import (
+	"math"
+	"math/rand"
+
+	"rlts/internal/geo"
+	"rlts/internal/traj"
+)
+
+// DirtyConfig describes one mixture of stream defects. The zero value
+// corrupts nothing: Corrupt returns the input fixes unchanged.
+type DirtyConfig struct {
+	Name string
+
+	// Out-of-order arrival: each fix is delayed past up to SwapSpan
+	// later fixes with probability SwapProb. A reordering window of at
+	// least SwapSpan+1 repairs this class completely.
+	SwapProb float64
+	SwapSpan int
+
+	// Duplicate timestamps: after a fix, a re-sent copy (same timestamp,
+	// position jittered by DupJitter SD) follows with probability
+	// DupProb.
+	DupProb   float64
+	DupJitter float64
+
+	// Burst gaps: with probability GapProb per fix, the sensor goes
+	// silent and every subsequent timestamp shifts by GapSecs.
+	GapProb float64
+	GapSecs float64
+
+	// Noise spikes: with probability SpikeProb, a fix's position gains
+	// an isotropic error of SD SpikeScale (urban-canyon multipath).
+	SpikeProb  float64
+	SpikeScale float64
+
+	// Teleports: with probability TeleportProb, a fix jumps a hard
+	// TeleportDist in a random direction (a wrong-constellation fix).
+	TeleportProb float64
+	TeleportDist float64
+
+	// Mixed sampling rate: with probability RateSwitchProb per fix, the
+	// inter-fix gaps toggle between their clean duration and RateFactor
+	// times it (device power-saving mode kicking in and out).
+	RateSwitchProb float64
+	RateFactor     float64
+
+	// Garbage: with probability GarbageProb, one field of a fix becomes
+	// NaN or +-Inf (firmware bugs, serialization corruption).
+	GarbageProb float64
+}
+
+// Compose merges defect families field-wise (maximum of each knob) into
+// one configuration named name — the kitchen-sink construction.
+func Compose(name string, cfgs ...DirtyConfig) DirtyConfig {
+	out := DirtyConfig{Name: name}
+	for _, c := range cfgs {
+		out.SwapProb = math.Max(out.SwapProb, c.SwapProb)
+		if c.SwapSpan > out.SwapSpan {
+			out.SwapSpan = c.SwapSpan
+		}
+		out.DupProb = math.Max(out.DupProb, c.DupProb)
+		out.DupJitter = math.Max(out.DupJitter, c.DupJitter)
+		out.GapProb = math.Max(out.GapProb, c.GapProb)
+		out.GapSecs = math.Max(out.GapSecs, c.GapSecs)
+		out.SpikeProb = math.Max(out.SpikeProb, c.SpikeProb)
+		out.SpikeScale = math.Max(out.SpikeScale, c.SpikeScale)
+		out.TeleportProb = math.Max(out.TeleportProb, c.TeleportProb)
+		out.TeleportDist = math.Max(out.TeleportDist, c.TeleportDist)
+		out.RateSwitchProb = math.Max(out.RateSwitchProb, c.RateSwitchProb)
+		out.RateFactor = math.Max(out.RateFactor, c.RateFactor)
+		out.GarbageProb = math.Max(out.GarbageProb, c.GarbageProb)
+	}
+	return out
+}
+
+// DirtyFamilies returns the named defect families the check pillar and
+// the dirty experiment iterate over: each isolates one defect class at a
+// rate aggressive enough to be visible but repairable, and the final
+// kitchen-sink entry composes them all.
+func DirtyFamilies() []DirtyConfig {
+	families := []DirtyConfig{
+		{Name: "out-of-order", SwapProb: 0.15, SwapSpan: 4},
+		{Name: "dup-times", DupProb: 0.12, DupJitter: 3},
+		{Name: "burst-gaps", GapProb: 0.02, GapSecs: 300},
+		{Name: "noise-spikes", SpikeProb: 0.05, SpikeScale: 500},
+		{Name: "teleports", TeleportProb: 0.02, TeleportDist: 5000},
+		{Name: "mixed-rate", RateSwitchProb: 0.05, RateFactor: 5},
+		{Name: "garbage", GarbageProb: 0.05},
+	}
+	return append(families, Compose("kitchen-sink", families...))
+}
+
+// DirtyFamilyByName finds a family from DirtyFamilies by name; the
+// second result is false when no family matches.
+func DirtyFamilyByName(name string) (DirtyConfig, bool) {
+	for _, f := range DirtyFamilies() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return DirtyConfig{}, false
+}
+
+// Corrupt applies the configured defects to a clean trajectory and
+// returns the raw fix stream a hostile device would deliver — usually
+// NOT a valid trajectory. Deterministic per (input, seed); the input is
+// unchanged. Defects stack in sensor order: timestamp distortion (rate
+// switches, burst gaps) happens at the source, position defects (spikes,
+// teleports) corrupt the fix, duplicates and garbage corrupt the
+// encoding, and arrival-order swaps happen last, in transit.
+func (c DirtyConfig) Corrupt(t traj.Trajectory, seed int64) []geo.Point {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]geo.Point, 0, len(t)+len(t)/8)
+
+	// Timestamps: rebuild the time axis from the clean gaps, scaling by
+	// the current rate factor and inserting silence bursts. Both keep
+	// timestamps strictly increasing — order defects come later.
+	factor := 1.0
+	shift := 0.0
+	prevCleanT := 0.0
+	curT := 0.0
+	for i, p := range t {
+		if i == 0 {
+			curT = p.T
+		} else {
+			if c.RateSwitchProb > 0 && r.Float64() < c.RateSwitchProb {
+				if factor == 1 {
+					factor = math.Max(c.RateFactor, 1)
+				} else {
+					factor = 1
+				}
+			}
+			curT += (p.T - prevCleanT) * factor
+		}
+		prevCleanT = p.T
+		if c.GapProb > 0 && r.Float64() < c.GapProb {
+			shift += c.GapSecs
+		}
+		fix := geo.Pt(p.X, p.Y, curT+shift)
+
+		// Position defects.
+		if c.SpikeProb > 0 && r.Float64() < c.SpikeProb {
+			fix.X += r.NormFloat64() * c.SpikeScale
+			fix.Y += r.NormFloat64() * c.SpikeScale
+		}
+		if c.TeleportProb > 0 && r.Float64() < c.TeleportProb {
+			theta := r.Float64() * 2 * math.Pi
+			fix.X += c.TeleportDist * math.Cos(theta)
+			fix.Y += c.TeleportDist * math.Sin(theta)
+		}
+
+		out = append(out, fix)
+
+		// Encoding defects: re-sent duplicates and garbage fields.
+		if c.DupProb > 0 && r.Float64() < c.DupProb {
+			dup := fix
+			dup.X += r.NormFloat64() * c.DupJitter
+			dup.Y += r.NormFloat64() * c.DupJitter
+			out = append(out, dup)
+		}
+	}
+	if c.GarbageProb > 0 {
+		garbage := [3]float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+		for i := range out {
+			if r.Float64() >= c.GarbageProb {
+				continue
+			}
+			v := garbage[r.Intn(len(garbage))]
+			switch r.Intn(3) {
+			case 0:
+				out[i].X = v
+			case 1:
+				out[i].Y = v
+			default:
+				out[i].T = v
+			}
+		}
+	}
+
+	// Transit defects: delay fixes past up to SwapSpan successors.
+	if c.SwapProb > 0 {
+		span := c.SwapSpan
+		if span < 1 {
+			span = 1
+		}
+		for i := 0; i < len(out); i++ {
+			if r.Float64() >= c.SwapProb {
+				continue
+			}
+			j := i + 1 + r.Intn(span)
+			if j >= len(out) {
+				j = len(out) - 1
+			}
+			f := out[i]
+			copy(out[i:j], out[i+1:j+1])
+			out[j] = f
+		}
+	}
+	return out
+}
+
+// Raw converts a trajectory (or repaired fix list) to the [][3]float64
+// triple form the HTTP payloads and traj.Repair consume.
+func Raw(points []geo.Point) [][3]float64 {
+	out := make([][3]float64, len(points))
+	for i, p := range points {
+		out[i] = [3]float64{p.X, p.Y, p.T}
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package gen
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rlts/internal/traj"
+)
+
+func TestCorruptDeterministic(t *testing.T) {
+	clean := New(Geolife(), 11).Trajectory(300)
+	for _, fam := range DirtyFamilies() {
+		a := fam.Corrupt(clean, 5)
+		b := fam.Corrupt(clean, 5)
+		if len(a) != len(b) {
+			t.Fatalf("%s: same seed, different lengths", fam.Name)
+		}
+		for i := range a {
+			// Bitwise: garbage fixes contain NaN, which never compares
+			// equal to itself.
+			if math.Float64bits(a[i].X) != math.Float64bits(b[i].X) ||
+				math.Float64bits(a[i].Y) != math.Float64bits(b[i].Y) ||
+				math.Float64bits(a[i].T) != math.Float64bits(b[i].T) {
+				t.Fatalf("%s: same seed, fix %d differs", fam.Name, i)
+			}
+		}
+	}
+}
+
+func TestCorruptZeroValueIsIdentity(t *testing.T) {
+	clean := New(TDrive(), 3).Trajectory(100)
+	out := DirtyConfig{}.Corrupt(clean, 1)
+	if len(out) != clean.Len() {
+		t.Fatalf("zero config changed length: %d vs %d", len(out), clean.Len())
+	}
+	for i, p := range out {
+		if !p.Equal(clean[i]) {
+			t.Fatalf("zero config changed fix %d", i)
+		}
+	}
+}
+
+// TestFamiliesProduceTheirDefect: each isolated family must actually
+// break the strict contract in its own way (otherwise the robustness
+// numbers measure nothing).
+func TestFamiliesProduceTheirDefect(t *testing.T) {
+	clean := New(Geolife(), 21).Trajectory(500)
+	for _, fam := range DirtyFamilies() {
+		out := fam.Corrupt(clean, 9)
+		var unordered, dups, nonFinite int
+		var maxJump float64
+		for i, p := range out {
+			if !p.IsFinite() {
+				nonFinite++
+				continue
+			}
+			if i > 0 && out[i-1].IsFinite() {
+				if p.T < out[i-1].T {
+					unordered++
+				}
+				if p.T == out[i-1].T {
+					dups++
+				}
+				if d := math.Hypot(p.X-out[i-1].X, p.Y-out[i-1].Y); d > maxJump {
+					maxJump = d
+				}
+			}
+		}
+		switch fam.Name {
+		case "out-of-order":
+			if unordered == 0 {
+				t.Errorf("%s produced no unordered fixes", fam.Name)
+			}
+		case "dup-times":
+			if dups == 0 {
+				t.Errorf("%s produced no duplicate timestamps", fam.Name)
+			}
+		case "noise-spikes", "teleports":
+			if maxJump < 300 {
+				t.Errorf("%s max jump only %v", fam.Name, maxJump)
+			}
+		case "garbage":
+			if nonFinite == 0 {
+				t.Errorf("%s produced no non-finite fixes", fam.Name)
+			}
+		case "burst-gaps", "mixed-rate":
+			cleanDur := clean.Duration()
+			dirtyDur := out[len(out)-1].T - out[0].T
+			if dirtyDur < cleanDur*1.2 {
+				t.Errorf("%s did not stretch the time axis: %v vs %v", fam.Name, dirtyDur, cleanDur)
+			}
+		case "kitchen-sink":
+			if unordered == 0 || dups == 0 || nonFinite == 0 {
+				t.Errorf("%s missing defect classes: %d unordered, %d dups, %d non-finite",
+					fam.Name, unordered, dups, nonFinite)
+			}
+		}
+	}
+}
+
+// TestEveryFamilyRepairs: the acceptance criterion in miniature — every
+// family's output, pushed through the repair stage with the documented
+// serving defaults, yields a trajectory satisfying the strict contract.
+func TestEveryFamilyRepairs(t *testing.T) {
+	cfg := traj.RepairConfig{Window: 16, MaxSpeed: 60}
+	for _, prof := range Profiles() {
+		clean := New(prof, 17).Trajectory(400)
+		for _, fam := range DirtyFamilies() {
+			dirty := fam.Corrupt(clean, 23)
+			repaired, rep, err := traj.Repair(Raw(dirty), cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", prof.Name, fam.Name, err)
+			}
+			if err := repaired.Validate(); err != nil {
+				t.Fatalf("%s/%s: repaired output invalid: %v", prof.Name, fam.Name, err)
+			}
+			if rep.Pushed != len(dirty) {
+				t.Fatalf("%s/%s: report pushed %d of %d", prof.Name, fam.Name, rep.Pushed, len(dirty))
+			}
+		}
+	}
+}
+
+// TestOutlierInStopZeroDurationTeleport pins the gen.WithOutliers /
+// stop-stretch / duplicate-timestamp interaction: an outlier injected
+// while the walker is stopped, then re-sent as a duplicate, is a
+// zero-duration teleport. The speed gate must classify it as an outlier
+// — a division by the zero time delta would make the gate NaN-blind and
+// let it through.
+func TestOutlierInStopZeroDurationTeleport(t *testing.T) {
+	cfg := Geolife()
+	cfg.StopMinSecs, cfg.StopMaxSecs = 60, 120
+	for i := range cfg.Regimes {
+		cfg.Regimes[i].StopProb = 0.3 // stop often so outliers land inside stops
+	}
+	cfg = cfg.WithOutliers(0.3, 5000)
+	clean := New(cfg, 41).Trajectory(600)
+
+	// Re-send every fix at the same timestamp WITHOUT jitter: each
+	// outlier spike inside a stop now has an exact-duplicate companion,
+	// and the dup-radius check sees displacement 0 while the stop keeps
+	// dt at exactly the sampling gap (and 0 within the dup group).
+	dirty := DirtyConfig{DupProb: 1, DupJitter: 0}.Corrupt(clean, 43)
+
+	repaired, rep, err := traj.Repair(Raw(dirty), traj.RepairConfig{Window: 8, MaxSpeed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repaired.Validate(); err != nil {
+		t.Fatalf("repaired output invalid: %v", err)
+	}
+	if rep.Outliers == 0 {
+		t.Fatalf("outlier spikes not classified: %+v", rep)
+	}
+	if rep.Duplicates == 0 {
+		t.Fatalf("duplicates not classified: %+v", rep)
+	}
+	// The gate must have removed the 5 km spikes: with the walker
+	// capped at 15 m/s and gaps under 6 s, no repaired step can
+	// legitimately exceed MaxSpeed * gap.
+	for i := 1; i < repaired.Len(); i++ {
+		dt := repaired[i].T - repaired[i-1].T
+		if d := math.Hypot(repaired[i].X-repaired[i-1].X, repaired[i].Y-repaired[i-1].Y); d > 20*dt+1e-9 {
+			t.Fatalf("step %d: residual teleport %v over %v s", i, d, dt)
+		}
+	}
+}
+
+// TestDupOfOutlierIsZeroDurationTeleport drives the defect directly: a
+// duplicate timestamp whose position is kilometres away must be dropped
+// by the dup-radius teleport check, never divided by dt=0.
+func TestDupOfOutlierIsZeroDurationTeleport(t *testing.T) {
+	raw := [][3]float64{
+		{0, 0, 0}, {1, 0, 1}, {5000, 0, 1}, {2, 0, 2}, {3, 0, 3},
+	}
+	repaired, rep, err := traj.Repair(raw, traj.RepairConfig{MaxSpeed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outliers != 1 {
+		t.Fatalf("zero-duration teleport not classified as outlier: %+v", rep)
+	}
+	for _, p := range repaired {
+		if p.X == 5000 {
+			t.Fatal("zero-duration teleport survived")
+		}
+	}
+	if _, _, err := traj.Repair(raw, traj.RepairConfig{}); err != nil {
+		t.Fatalf("ungated repair must still be total: %v", err)
+	}
+}
+
+func TestComposeTakesMaxima(t *testing.T) {
+	got := Compose("x",
+		DirtyConfig{SwapProb: 0.1, SwapSpan: 2, GapSecs: 10},
+		DirtyConfig{SwapProb: 0.05, SwapSpan: 6, GarbageProb: 0.2},
+	)
+	if got.SwapProb != 0.1 || got.SwapSpan != 6 || got.GapSecs != 10 || got.GarbageProb != 0.2 {
+		t.Fatalf("compose wrong: %+v", got)
+	}
+	if got.Name != "x" {
+		t.Fatalf("compose name %q", got.Name)
+	}
+}
+
+func TestDirtyFamilyByName(t *testing.T) {
+	if _, ok := DirtyFamilyByName("kitchen-sink"); !ok {
+		t.Fatal("kitchen-sink missing")
+	}
+	if _, ok := DirtyFamilyByName("no-such"); ok {
+		t.Fatal("phantom family found")
+	}
+}
+
+func TestCorruptGarbageOnlyTooShort(t *testing.T) {
+	// A fully-garbaged stream must fail repair with ErrTooShort, not
+	// panic or emit an invalid trajectory.
+	clean := New(Geolife(), 5).Trajectory(50)
+	dirty := DirtyConfig{GarbageProb: 1}.Corrupt(clean, 1)
+	if _, _, err := traj.Repair(Raw(dirty), traj.RepairConfig{}); !errors.Is(err, traj.ErrTooShort) {
+		t.Fatalf("err = %v, want ErrTooShort", err)
+	}
+}

@@ -52,6 +52,7 @@ type batchRequest struct {
 	Measure   string             `json:"measure"`
 	W         int                `json:"w"`
 	Ratio     float64            `json:"ratio"`
+	Repair    *repairParams      `json:"repair,omitempty"` // opt-in dirty-input repair, applied per item
 	Items     []batchItemRequest `json:"items"`
 }
 
@@ -66,11 +67,12 @@ type itemFailure struct {
 // success, Failure alone otherwise. Error is a pointer so a perfect 0.0
 // simplification error still serializes.
 type batchItemResult struct {
-	Kept    int          `json:"kept,omitempty"`
-	Of      int          `json:"of,omitempty"`
-	Error   *float64     `json:"error,omitempty"`
-	Points  [][3]float64 `json:"points,omitempty"`
-	Failure *itemFailure `json:"failure,omitempty"`
+	Kept    int               `json:"kept,omitempty"`
+	Of      int               `json:"of,omitempty"`
+	Error   *float64          `json:"error,omitempty"`
+	Repair  *repairReportJSON `json:"repair,omitempty"`
+	Points  [][3]float64      `json:"points,omitempty"`
+	Failure *itemFailure      `json:"failure,omitempty"`
 }
 
 type batchResponse struct {
@@ -242,9 +244,22 @@ func (s *Server) handleSimplifyBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		t, err := traj.FromPoints(it.Points)
-		if err != nil {
-			results[i].Failure = &itemFailure{Error: errFmt("invalid trajectory: %v", err), Code: codeInvalidPoints}
+		var t traj.Trajectory
+		var err error
+		if req.Repair != nil {
+			var rep traj.RepairReport
+			t, rep, err = traj.Repair(it.Points, req.Repair.config())
+			if err != nil {
+				s.repairMet.reject(codePointsTooShort)
+				results[i].Failure = &itemFailure{Error: errFmt("repair: %v", err), Code: codePointsTooShort}
+				continue
+			}
+			s.repairMet.observe(rep)
+			results[i].Repair = reportJSON(rep)
+		} else if t, err = traj.FromPoints(it.Points); err != nil {
+			code := pointsErrorCode(err)
+			s.repairMet.reject(code)
+			results[i].Failure = &itemFailure{Error: errFmt("invalid trajectory: %v", err), Code: code}
 			continue
 		}
 		b, fail := itemBudget(&req, it, len(t))

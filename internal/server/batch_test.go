@@ -77,7 +77,7 @@ func TestSimplifyBatchMatchesSingle(t *testing.T) {
 			out.Algorithm, len(out.Items), out.Failed)
 	}
 	last := out.Items[len(out.Items)-1]
-	if last.Failure == nil || last.Failure.Code != codeInvalidPoints {
+	if last.Failure == nil || last.Failure.Code != codePointsTooShort {
 		t.Fatalf("invalid item did not fail inline: %+v", last)
 	}
 	for i, tr := range trajs {

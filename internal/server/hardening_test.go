@@ -300,11 +300,11 @@ func TestInputValidationCodes(t *testing.T) {
 		{"ratio one", map[string]interface{}{"algorithm": "uniform", "ratio": 1.0, "points": ok}, 400, codeInvalidBudget},
 		{"ratio above one", map[string]interface{}{"algorithm": "uniform", "ratio": 1.5, "points": ok}, 400, codeInvalidBudget},
 		{"single point", map[string]interface{}{"algorithm": "uniform", "w": 2,
-			"points": [][3]float64{{0, 0, 0}}}, 400, codeInvalidPoints},
+			"points": [][3]float64{{0, 0, 0}}}, 400, codePointsTooShort},
 		{"unordered timestamps", map[string]interface{}{"algorithm": "uniform", "w": 2,
-			"points": [][3]float64{{0, 0, 5}, {1, 1, 1}}}, 400, codeInvalidPoints},
+			"points": [][3]float64{{0, 0, 5}, {1, 1, 1}}}, 400, codePointsUnordered},
 		{"duplicate timestamps", map[string]interface{}{"algorithm": "uniform", "w": 2,
-			"points": [][3]float64{{0, 0, 1}, {1, 1, 1}}}, 400, codeInvalidPoints},
+			"points": [][3]float64{{0, 0, 1}, {1, 1, 1}}}, 400, codePointsDuplicate},
 		{"unknown measure", map[string]interface{}{"algorithm": "uniform", "w": 2, "measure": "XYZ",
 			"points": ok}, 400, codeInvalidMeasure},
 		{"unknown algorithm", map[string]interface{}{"algorithm": "nope", "w": 2, "points": ok}, 400, codeUnknownAlgorithm},

@@ -101,6 +101,7 @@ type Server struct {
 	simp       *policyPools
 	fastReq    *obs.Counter
 	boundUnmet *obs.Counter
+	repairMet  *repairMetrics
 	streams    *streamManager
 	fleets     *fleetManager
 	batch      *batchRunner
@@ -132,6 +133,7 @@ func NewWith(policies []*core.Trained, cfg Config) *Server {
 		"Policy runs served with the FastMath kernels (?fast=1)")
 	s.boundUnmet = s.cfg.Metrics.Counter("rlts_bound_unmet_total",
 		"Error-bounded responses whose oracle-re-scored error exceeded the requested bound")
+	s.repairMet = newRepairMetrics(s.cfg.Metrics)
 	s.streams = newStreamManager(s.policies, s.cfg)
 	s.fleets = newFleetManager(s.cfg)
 	s.batch = newBatchRunner(s.cfg)
@@ -203,6 +205,7 @@ type simplifyRequest struct {
 	W         int          `json:"w"`
 	Ratio     float64      `json:"ratio"`
 	Bound     *float64     `json:"bound,omitempty"`
+	Repair    *repairParams `json:"repair,omitempty"` // opt-in dirty-input repair (see repair.go)
 	Points    [][3]float64 `json:"points"`
 }
 
@@ -214,6 +217,7 @@ type simplifyResponse struct {
 	Error     float64      `json:"error"`
 	Bound     *float64     `json:"bound,omitempty"`     // echo of the requested bound
 	BoundMet  *bool        `json:"bound_met,omitempty"` // re-scored by the exact oracle
+	Repair    *repairReportJSON `json:"repair,omitempty"` // per-defect repair accounting
 	Points    [][3]float64 `json:"points"`
 }
 
@@ -245,10 +249,26 @@ func (s *Server) parseTrajectory(w http.ResponseWriter, points [][3]float64) tra
 	}
 	t, err := traj.FromPoints(points)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, codeInvalidPoints, "invalid trajectory: %v", err)
+		s.rejectPoints(w, err)
 		return nil
 	}
 	return t
+}
+
+// ingestTrajectory is parseTrajectory with the repair opt-in: when
+// params is non-nil the raw points go through the repair pipeline
+// instead of strict validation, and the per-defect accounting comes
+// back for the response. Returns nil when the request is answered.
+func (s *Server) ingestTrajectory(w http.ResponseWriter, points [][3]float64, params *repairParams) (traj.Trajectory, *repairReportJSON) {
+	if s.cfg.MaxPoints > 0 && len(points) > s.cfg.MaxPoints {
+		httpError(w, http.StatusRequestEntityTooLarge, codeTooManyPoints,
+			"trajectory has %d points, limit is %d", len(points), s.cfg.MaxPoints)
+		return nil, nil
+	}
+	if params == nil {
+		return s.parseTrajectory(w, points), nil
+	}
+	return s.repairTrajectory(w, points, params)
 }
 
 // budget resolves the storage budget from the request's w/ratio pair,
@@ -293,7 +313,7 @@ func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	t := s.parseTrajectory(w, req.Points)
+	t, repairRep := s.ingestTrajectory(w, req.Points, req.Repair)
 	if t == nil {
 		return
 	}
@@ -325,6 +345,7 @@ func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 		Kept:      len(kept),
 		Of:        len(t),
 		Error:     errm.Error(m, t, kept),
+		Repair:    repairRep,
 	}
 	core.ObserveErrorIn(s.cfg.Metrics, m, resp.Error)
 	for _, ix := range kept {

@@ -16,7 +16,13 @@ package server
 //	u64     sampling seed (two's-complement int64)
 //	u64     last-active time, unix nanoseconds
 //	u32+... streamer state (len-prefixed core.StreamerState encoding)
+//	u8      [v2] repair flag; when 1:
+//	u32+... [v2] repair state (len-prefixed traj.RepairState encoding)
 //	u32     CRC-32 (IEEE) of every preceding byte
+//
+// Version 2 added the repair extension; version-1 files (no repair
+// section) still decode, so spills written before the upgrade rehydrate
+// unchanged.
 //
 // Ownership of a session's state is exclusive: either the shard map holds
 // it (hot) or the spill file does (cold), never both. Spilling moves it
@@ -49,12 +55,17 @@ import (
 
 	"rlts/internal/core"
 	"rlts/internal/storage"
+	"rlts/internal/traj"
 )
 
 const (
-	spillMagic   = "RLSS"
-	spillVersion = 1
-	spillExt     = ".sess"
+	spillMagic = "RLSS"
+	// spillVersion is the envelope version written; spillMinVersion..
+	// spillVersion are accepted on read (v1 predates the repair
+	// extension).
+	spillVersion    = 2
+	spillMinVersion = 1
+	spillExt        = ".sess"
 	// corruptExt is appended to a quarantined spill file's name (after
 	// spillExt, so the recovery scan and the reaper skip it).
 	corruptExt = ".corrupt"
@@ -95,6 +106,7 @@ type sessionRecord struct {
 	Seed       int64
 	LastActive int64 // unix nanoseconds
 	State      *core.StreamerState
+	Repair     *traj.RepairState // nil for sessions without repair (and all v1 files)
 }
 
 // encodeSession produces the sealed envelope described atop this file.
@@ -111,6 +123,14 @@ func encodeSession(rec *sessionRecord) []byte {
 	b = binary.LittleEndian.AppendUint64(b, uint64(rec.LastActive))
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(state)))
 	b = append(b, state...)
+	if rec.Repair != nil {
+		b = append(b, 1)
+		rs := rec.Repair.AppendBinary(nil)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(rs)))
+		b = append(b, rs...)
+	} else {
+		b = append(b, 0)
+	}
 	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
 }
 
@@ -130,8 +150,10 @@ func decodeSession(data []byte) (*sessionRecord, error) {
 		return nil, fmt.Errorf("server: spill file checksum mismatch (%08x != %08x)", got, want)
 	}
 	d := spillReader{buf: body, off: len(spillMagic)}
-	if ver := d.u32(); d.err == nil && ver != spillVersion {
-		return nil, fmt.Errorf("server: spill envelope version %d, want %d", ver, spillVersion)
+	ver := d.u32()
+	if d.err == nil && (ver < spillMinVersion || ver > spillVersion) {
+		return nil, fmt.Errorf("server: spill envelope version %d, want %d..%d",
+			ver, spillMinVersion, spillVersion)
 	}
 	rec := &sessionRecord{}
 	rec.ID = d.str(maxSpillID)
@@ -142,9 +164,25 @@ func decodeSession(data []byte) (*sessionRecord, error) {
 	if d.err != nil {
 		return nil, fmt.Errorf("server: decode spill file: %w", d.err)
 	}
-	if stateLen != len(body)-d.off {
-		return nil, fmt.Errorf("server: spill file declares %d state bytes, %d remain",
-			stateLen, len(body)-d.off)
+	if ver == 1 {
+		// v1: the streamer state runs to the end of the body.
+		if stateLen != len(body)-d.off {
+			return nil, fmt.Errorf("server: spill file declares %d state bytes, %d remain",
+				stateLen, len(body)-d.off)
+		}
+	}
+	stateBytes := d.take(stateLen)
+	var repairBytes []byte
+	if ver >= 2 {
+		if d.bool() {
+			repairBytes = d.take(int(d.u32()))
+		}
+		if d.err == nil && d.off != len(body) {
+			d.err = fmt.Errorf("%d trailing bytes", len(body)-d.off)
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("server: decode spill file: %w", d.err)
 	}
 	if !validSpillID(rec.ID) {
 		return nil, fmt.Errorf("server: spill file carries invalid session id %q", rec.ID)
@@ -152,11 +190,18 @@ func decodeSession(data []byte) (*sessionRecord, error) {
 	if rec.Key == "" {
 		return nil, fmt.Errorf("server: spill file carries empty policy key")
 	}
-	st, err := core.DecodeStreamerState(body[d.off:])
+	st, err := core.DecodeStreamerState(stateBytes)
 	if err != nil {
 		return nil, err
 	}
 	rec.State = st
+	if repairBytes != nil {
+		rs, err := traj.DecodeRepairState(repairBytes)
+		if err != nil {
+			return nil, err
+		}
+		rec.Repair = rs
+	}
 	return rec, nil
 }
 
@@ -179,6 +224,11 @@ func (d *spillReader) take(n int) []byte {
 	b := d.buf[d.off : d.off+n]
 	d.off += n
 	return b
+}
+
+func (d *spillReader) bool() bool {
+	b := d.take(1)
+	return b != nil && b[0] != 0
 }
 
 func (d *spillReader) u32() uint32 {
@@ -225,6 +275,9 @@ func (m *streamManager) spillSessionLocked(sh *streamShard, sess *streamSession)
 		Seed:       sess.seed,
 		LastActive: sess.lastActive.Load(),
 		State:      sess.str.ExportState(), // flushes metric deltas
+	}
+	if sess.rp != nil {
+		rec.Repair = sess.rp.ExportState()
 	}
 	if err := m.spillWrite(m.spillPath(sess.id), encodeSession(rec)); err != nil {
 		sess.mu.Unlock()
@@ -338,6 +391,14 @@ func (s *Server) rehydrateLocked(sh *streamShard, id string) (*streamSession, er
 		sm.quarantineLocked(path)
 		return nil, err
 	}
+	var rp *traj.Repairer
+	if rec.Repair != nil {
+		rp, err = traj.ResumeRepairer(rec.Repair)
+		if err != nil {
+			sm.quarantineLocked(path)
+			return nil, err
+		}
+	}
 	str.UseRegistry(sm.reg)
 	sess := &streamSession{
 		id:   id,
@@ -345,6 +406,7 @@ func (s *Server) rehydrateLocked(sh *streamShard, id string) (*streamSession, er
 		algo: p.Opts.Name(),
 		seed: rec.Seed,
 		str:  str,
+		rp:   rp,
 		w:    rec.State.W,
 	}
 	sess.touch()

@@ -70,7 +70,14 @@ type streamSession struct {
 
 	mu  sync.Mutex
 	str *core.Streamer
-	w   int
+	// rp, when non-nil, is the session's dirty-input repair stage: raw
+	// pushes route through it and only its emitted points reach the
+	// streamer. Fixes still sitting in the reordering window are NOT
+	// flushed by snapshots or close — like skip-swallowed tails, they are
+	// in flight until later fixes push them out (documented in DESIGN.md
+	// §17). Spills carry its state as a versioned envelope extension.
+	rp *traj.Repairer
+	w  int
 	// lastActive is the unix-nano time of the last client touch, atomic
 	// so the LRU spill scan and the TTL janitor read it without taking
 	// every session's lock.
@@ -275,6 +282,10 @@ type streamCreateRequest struct {
 	// deterministic functions of the pushed points).
 	Sample bool  `json:"sample"`
 	Seed   int64 `json:"seed"`
+	// Repair opts the session into dirty-input repair: pushes accept
+	// out-of-order, duplicated and non-finite fixes and route them
+	// through a per-session traj.Repairer instead of strict validation.
+	Repair *repairParams `json:"repair,omitempty"`
 }
 
 // handleStream dispatches the /v1/stream collection route: POST creates
@@ -352,6 +363,9 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 		str:  str,
 		w:    req.W,
 	}
+	if req.Repair != nil {
+		sess.rp = traj.NewRepairer(req.Repair.config())
+	}
 	sess.touch()
 	sm := s.streams
 	// Reserve the slot atomically before anything becomes visible: the
@@ -377,6 +391,7 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 		"algorithm": sess.algo,
 		"measure":   m.String(),
 		"w":         req.W,
+		"repair":    sess.rp != nil,
 	})
 }
 
@@ -457,7 +472,8 @@ func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Points) == 0 {
-		httpError(w, http.StatusBadRequest, codeInvalidPoints, "no points in push")
+		s.repairMet.reject(codePointsTooShort)
+		httpError(w, http.StatusBadRequest, codePointsTooShort, "no points in push")
 		return
 	}
 	if s.streams.maxPush > 0 && len(req.Points) > s.streams.maxPush {
@@ -470,6 +486,30 @@ func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sess.mu.Unlock()
+	if sess.rp != nil {
+		// Repair mode: raw fixes route through the session's repairer;
+		// only its emitted points (strictly increasing by construction,
+		// gated against everything emitted before, across pushes) reach
+		// the streamer. No strict validation — repairing is the point.
+		before := sess.rp.Report()
+		skippedBefore := sess.str.Skipped()
+		for _, p := range req.Points {
+			for _, pt := range sess.rp.Push(geo.Point{X: p[0], Y: p[1], T: p[2]}) {
+				sess.str.Push(pt)
+			}
+		}
+		delta := sess.rp.Report().Sub(before)
+		s.repairMet.observe(delta)
+		sess.touch()
+		writeJSON(w, map[string]interface{}{
+			"seen":     sess.str.Seen(),
+			"buffered": sess.str.BufferSize(),
+			"skipped":  sess.str.Skipped() - skippedBefore,
+			"pending":  sess.rp.Pending(),
+			"repair":   reportJSON(delta),
+		})
+		return
+	}
 	// Validate the batch with the shared traj rules, prefixed with the
 	// session's last accepted point so cross-push ordering (including
 	// duplicate timestamps at the boundary) is enforced identically.
@@ -482,7 +522,9 @@ func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
 		check = append(check, geo.Point{X: p[0], Y: p[1], T: p[2]})
 	}
 	if err := check.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, codeInvalidPoints, "invalid points: %v", err)
+		code := pointsErrorCode(err)
+		s.repairMet.reject(code)
+		httpError(w, http.StatusBadRequest, code, "invalid points: %v", err)
 		return
 	}
 	batch := check

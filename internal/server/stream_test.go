@@ -192,8 +192,8 @@ func TestStreamRejectsDuplicateTimestamps(t *testing.T) {
 	if resp.StatusCode != 400 {
 		t.Fatalf("in-batch duplicate: status %d: %s", resp.StatusCode, raw)
 	}
-	if _, code := errorBody(t, raw); code != codeInvalidPoints {
-		t.Errorf("code = %q, want %q", code, codeInvalidPoints)
+	if _, code := errorBody(t, raw); code != codePointsDuplicate {
+		t.Errorf("code = %q, want %q", code, codePointsDuplicate)
 	}
 
 	// Duplicate across two pushes: the second push's first point repeats
@@ -208,8 +208,8 @@ func TestStreamRejectsDuplicateTimestamps(t *testing.T) {
 	if resp.StatusCode != 400 {
 		t.Fatalf("cross-push duplicate: status %d: %s", resp.StatusCode, raw)
 	}
-	if _, code := errorBody(t, raw); code != codeInvalidPoints {
-		t.Errorf("code = %q, want %q", code, codeInvalidPoints)
+	if _, code := errorBody(t, raw); code != codePointsDuplicate {
+		t.Errorf("code = %q, want %q", code, codePointsDuplicate)
 	}
 	// The rejected batch must not have advanced the stream.
 	_, snap := getSnapshot(t, ts.URL, id)

@@ -40,7 +40,11 @@ func FilterShort(ts []Trajectory, minPoints int) []Trajectory {
 
 // Downsample keeps at most one point per minGap seconds (always keeping
 // the first and last), thinning oversampled stretches. It returns a new
-// trajectory; the input is unchanged.
+// trajectory; the input is unchanged. It is validity-preserving: on a
+// valid trajectory the output is valid too, and on dirty input it never
+// manufactures a defect the input did not have — in particular the
+// unconditionally-kept last point evicts any kept interior point it
+// fails to advance past, instead of being appended behind it.
 func Downsample(t Trajectory, minGap float64) Trajectory {
 	if len(t) <= 2 || minGap <= 0 {
 		return t.Clone()
@@ -48,17 +52,29 @@ func Downsample(t Trajectory, minGap float64) Trajectory {
 	out := Trajectory{t[0]}
 	last := t[0].T
 	for i := 1; i < len(t)-1; i++ {
+		// A NaN timestamp fails this comparison, so non-finite-gap
+		// interior points are dropped rather than kept.
 		if t[i].T-last >= minGap {
 			out = append(out, t[i])
 			last = t[i].T
 		}
 	}
-	return append(out, t[len(t)-1])
+	tail := t[len(t)-1]
+	for len(out) > 1 && !(out[len(out)-1].T < tail.T) {
+		out = out[:len(out)-1]
+	}
+	return append(out, tail)
 }
 
 // Clean is the standard pipeline: split at gaps, drop runts.
 // It validates every output trajectory and reports the first problem.
+// minPoints is floored at 2: anything shorter cannot be simplified, so
+// letting it through would hand downstream code a trajectory that fails
+// the FromPoints contract.
 func Clean(ts []Trajectory, maxGap float64, minPoints int) ([]Trajectory, error) {
+	if minPoints < 2 {
+		minPoints = 2
+	}
 	var out []Trajectory
 	for i, t := range ts {
 		if err := t.Validate(); err != nil {

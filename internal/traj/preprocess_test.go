@@ -1,6 +1,7 @@
 package traj
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -138,6 +139,52 @@ func TestDownsample(t *testing.T) {
 	// Tiny inputs unchanged.
 	if got := Downsample(tr.Sub(0, 1), 5); got.Len() != 2 {
 		t.Errorf("2-point input became %d", got.Len())
+	}
+}
+
+func TestDownsampleDirtyTail(t *testing.T) {
+	// Regression: the final point used to be appended unconditionally,
+	// so a tail that duplicated (or regressed behind) the last kept
+	// point's timestamp produced invalid output from Downsample.
+	dup := Trajectory{geo.Pt(0, 0, 0), geo.Pt(1, 0, 2), geo.Pt(2, 0, 2)}
+	out := Downsample(dup, 1)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("duplicate tail: invalid output: %v (%v)", err, out)
+	}
+	if !out[out.Len()-1].Equal(dup[2]) {
+		t.Errorf("duplicate tail: last point lost: %v", out)
+	}
+	back := Trajectory{geo.Pt(0, 0, 0), geo.Pt(1, 0, 5), geo.Pt(2, 0, 3)}
+	out = Downsample(back, 1)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("regressed tail: invalid output: %v (%v)", err, out)
+	}
+	// A non-finite interior gap must neither panic nor survive into the
+	// output when the tail cannot advance past it.
+	inf := Trajectory{geo.Pt(0, 0, 0), geo.Pt(1, 0, math.Inf(1)), geo.Pt(2, 0, 10)}
+	out = Downsample(inf, 1)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("non-finite gap: invalid output: %v (%v)", err, out)
+	}
+	nan := Trajectory{geo.Pt(0, 0, 0), geo.Pt(1, 0, math.NaN()), geo.Pt(2, 0, 10)}
+	out = Downsample(nan, 1)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("NaN gap: invalid output: %v (%v)", err, out)
+	}
+}
+
+func TestCleanFloorsMinPoints(t *testing.T) {
+	// Regression: minPoints < 2 used to let single-point runts through,
+	// violating the >= 2 contract everything downstream assumes.
+	b := gapTraj([]float64{99, 99})
+	out, err := Clean([]Trajectory{b}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range out {
+		if tr.Len() < 2 {
+			t.Fatalf("Clean emitted a %d-point trajectory", tr.Len())
+		}
 	}
 }
 

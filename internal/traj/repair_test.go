@@ -1,0 +1,432 @@
+package traj
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rlts/internal/geo"
+)
+
+func rawLine(n int) [][3]float64 {
+	out := make([][3]float64, n)
+	for i := range out {
+		out[i] = [3]float64{float64(i), 0, float64(i)}
+	}
+	return out
+}
+
+func TestRepairCleanPassThrough(t *testing.T) {
+	// Clean input must come out bit-identical, whatever the config.
+	raw := rawLine(200)
+	for _, cfg := range []RepairConfig{
+		{},
+		{Window: 1},
+		{Window: 64, MaxSpeed: 10, AverageDups: true},
+		{Window: -1, MaxSpeed: 2},
+	} {
+		got, rep, err := Repair(raw, cfg)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		if len(got) != len(raw) {
+			t.Fatalf("cfg %+v: %d points out, want %d", cfg, len(got), len(raw))
+		}
+		for i, p := range got {
+			if p.X != raw[i][0] || p.Y != raw[i][1] || p.T != raw[i][2] {
+				t.Fatalf("cfg %+v: point %d = %v, want %v", cfg, i, p, raw[i])
+			}
+		}
+		if rep.Dropped() != 0 || rep.Reordered != 0 {
+			t.Fatalf("cfg %+v: clean input produced defects: %+v", cfg, rep)
+		}
+	}
+}
+
+func TestRepairReorders(t *testing.T) {
+	// Swap adjacent fixes throughout; a window of 2 restores order fully.
+	raw := rawLine(100)
+	for i := 0; i+1 < len(raw); i += 2 {
+		raw[i], raw[i+1] = raw[i+1], raw[i]
+	}
+	got, rep, err := Repair(raw, RepairConfig{Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d points, want 100", len(got))
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reordered == 0 {
+		t.Fatalf("no reorders counted: %+v", rep)
+	}
+	if rep.Dropped() != 0 {
+		t.Fatalf("reorderable input dropped fixes: %+v", rep)
+	}
+}
+
+func TestRepairLateDrop(t *testing.T) {
+	// A fix delayed beyond the window cannot be re-sorted and must drop
+	// as late, not corrupt the output order.
+	raw := [][3]float64{
+		{0, 0, 0}, {1, 0, 1}, {2, 0, 2}, {3, 0, 3}, {4, 0, 4},
+		{0.5, 0, 0.5}, // 5 positions late, window is 2
+		{5, 0, 5},
+	}
+	got, rep, err := Repair(raw, RepairConfig{Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Late != 1 {
+		t.Fatalf("Late = %d, want 1 (%+v)", rep.Late, rep)
+	}
+	if len(got) != 6 {
+		t.Fatalf("got %d points, want 6", len(got))
+	}
+}
+
+func TestRepairDedup(t *testing.T) {
+	raw := [][3]float64{
+		{0, 0, 0},
+		{1, 0, 1}, {3, 0, 1}, {5, 0, 1}, // three fixes at t=1
+		{2, 0, 2},
+	}
+	// Keep-first.
+	got, rep, err := Repair(raw, RepairConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duplicates != 2 {
+		t.Fatalf("Duplicates = %d, want 2", rep.Duplicates)
+	}
+	if got[1].X != 1 {
+		t.Fatalf("keep-first kept X=%v, want 1", got[1].X)
+	}
+	// Averaged.
+	got, _, err = Repair(raw, RepairConfig{AverageDups: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].X != 3 {
+		t.Fatalf("averaged X=%v, want 3", got[1].X)
+	}
+	if got[1].T != 1 {
+		t.Fatalf("averaged T=%v, want 1", got[1].T)
+	}
+}
+
+func TestRepairSpeedGate(t *testing.T) {
+	// A spike 1000 units away between 1-second fixes at speed 1.
+	raw := [][3]float64{
+		{0, 0, 0}, {1, 0, 1}, {1000, 0, 2}, {3, 0, 3}, {4, 0, 4},
+	}
+	got, rep, err := Repair(raw, RepairConfig{MaxSpeed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outliers != 1 {
+		t.Fatalf("Outliers = %d, want 1 (%+v)", rep.Outliers, rep)
+	}
+	for _, p := range got {
+		if p.X == 1000 {
+			t.Fatal("teleport survived the gate")
+		}
+	}
+	// Self-healing: a genuine relocation is accepted once enough time
+	// has passed for the implied speed to fall under the gate.
+	raw = [][3]float64{
+		{0, 0, 0}, {1, 0, 1}, {1000, 0, 2}, {1000, 0, 200}, {1001, 0, 201},
+	}
+	got, rep, err = Repair(raw, RepairConfig{MaxSpeed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[len(got)-1].X != 1001 {
+		t.Fatalf("gate never recovered after relocation: %v", got)
+	}
+	if rep.Outliers != 1 {
+		t.Fatalf("Outliers = %d, want 1 (%+v)", rep.Outliers, rep)
+	}
+}
+
+func TestRepairZeroDurationTeleport(t *testing.T) {
+	// Two fixes at the same timestamp, far apart: a zero-duration
+	// teleport. The gate must classify it as an outlier (not divide by
+	// zero, not emit it); without the gate it is an ordinary duplicate.
+	raw := [][3]float64{
+		{0, 0, 0}, {1, 0, 1}, {5000, 0, 1}, {2, 0, 2},
+	}
+	got, rep, err := Repair(raw, RepairConfig{MaxSpeed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outliers != 1 || rep.Duplicates != 0 {
+		t.Fatalf("gated dup-teleport: %+v, want 1 outlier 0 duplicates", rep)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err = Repair(raw, RepairConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duplicates != 1 || rep.Outliers != 0 {
+		t.Fatalf("ungated dup-teleport: %+v, want 1 duplicate 0 outliers", rep)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairNonFiniteTotal(t *testing.T) {
+	raw := [][3]float64{
+		{0, 0, 0},
+		{math.NaN(), 0, 1},
+		{1, math.Inf(1), 2},
+		{2, 0, math.NaN()},
+		{3, 0, 3},
+	}
+	got, rep, err := Repair(raw, RepairConfig{MaxSpeed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NonFinite != 3 {
+		t.Fatalf("NonFinite = %d, want 3", rep.NonFinite)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d points, want 2", len(got))
+	}
+}
+
+func TestRepairTooShort(t *testing.T) {
+	_, rep, err := Repair([][3]float64{{0, 0, 0}, {math.NaN(), 0, 1}}, RepairConfig{})
+	if !errors.Is(err, ErrTooShort) {
+		t.Fatalf("err = %v, want ErrTooShort", err)
+	}
+	if rep.NonFinite != 1 {
+		t.Fatalf("report not populated on failure: %+v", rep)
+	}
+	if _, _, err := Repair(nil, RepairConfig{}); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("nil input: err = %v, want ErrTooShort", err)
+	}
+}
+
+func TestRepairReportBalances(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	rp := NewRepairer(RepairConfig{Window: 8, MaxSpeed: 5})
+	emitted := 0
+	for i := 0; i < 500; i++ {
+		p := geo.Pt(r.NormFloat64()*3, r.NormFloat64()*3, float64(i)+r.NormFloat64()*4)
+		if r.Intn(20) == 0 {
+			p.T = math.NaN()
+		}
+		emitted += len(rp.Push(p))
+		rep := rp.Report()
+		if rep.Emitted+rep.Dropped()+rp.Pending() != rep.Pushed {
+			t.Fatalf("push %d: report does not balance: %+v pending %d", i, rep, rp.Pending())
+		}
+		if rep.Emitted != emitted {
+			t.Fatalf("push %d: Emitted %d but saw %d points", i, rep.Emitted, emitted)
+		}
+	}
+	emitted += len(rp.Flush())
+	rep := rp.Report()
+	if rp.Pending() != 0 {
+		t.Fatalf("pending after flush: %d", rp.Pending())
+	}
+	if rep.Emitted+rep.Dropped() != rep.Pushed {
+		t.Fatalf("final report does not balance: %+v", rep)
+	}
+}
+
+// TestRepairChunkingInvariance: streaming fix-by-fix, in chunks, or
+// one-shot must yield the identical output — the property the HTTP
+// stream sessions rely on.
+func TestRepairChunkingInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var raw [][3]float64
+	for i := 0; i < 300; i++ {
+		raw = append(raw, [3]float64{r.NormFloat64() * 5, r.NormFloat64() * 5, float64(i/3) + r.NormFloat64()*6})
+	}
+	cfg := RepairConfig{Window: 12, MaxSpeed: 8, AverageDups: true}
+	want, wantRep, err := Repair(raw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewRepairer(cfg)
+	var got Trajectory
+	i := 0
+	for i < len(raw) {
+		n := 1 + r.Intn(17)
+		if i+n > len(raw) {
+			n = len(raw) - i
+		}
+		for _, p := range raw[i : i+n] {
+			got = append(got, rp.Push(geo.Pt(p[0], p[1], p[2]))...)
+		}
+		i += n
+	}
+	got = append(got, rp.Flush()...)
+	if !got.Equal(want) {
+		t.Fatalf("chunked output differs: %d vs %d points", len(got), len(want))
+	}
+	if rp.Report() != wantRep {
+		t.Fatalf("chunked report differs: %+v vs %+v", rp.Report(), wantRep)
+	}
+}
+
+// TestRepairExportResume: exporting mid-stream and resuming must
+// continue bit-identically — the spill/rehydrate contract.
+func TestRepairExportResume(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	var raw []geo.Point
+	for i := 0; i < 400; i++ {
+		raw = append(raw, geo.Pt(r.NormFloat64()*5, r.NormFloat64()*5, float64(i/2)+r.NormFloat64()*5))
+	}
+	cfg := RepairConfig{Window: 10, MaxSpeed: 6}
+	for _, cut := range []int{0, 1, 37, 200, 399} {
+		ref := NewRepairer(cfg)
+		var want Trajectory
+		for _, p := range raw {
+			want = append(want, ref.Push(p)...)
+		}
+		want = append(want, ref.Flush()...)
+
+		rp := NewRepairer(cfg)
+		var got Trajectory
+		for _, p := range raw[:cut] {
+			got = append(got, rp.Push(p)...)
+		}
+		resumed, err := ResumeRepairer(rp.ExportState())
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		for _, p := range raw[cut:] {
+			got = append(got, resumed.Push(p)...)
+		}
+		got = append(got, resumed.Flush()...)
+		if !got.Equal(want) {
+			t.Fatalf("cut %d: resumed output differs (%d vs %d points)", cut, len(got), len(want))
+		}
+		if resumed.Report() != ref.Report() {
+			t.Fatalf("cut %d: resumed report differs: %+v vs %+v", cut, resumed.Report(), ref.Report())
+		}
+	}
+}
+
+func TestResumeRepairerRejectsCorruptState(t *testing.T) {
+	mk := func() *RepairState {
+		rp := NewRepairer(RepairConfig{Window: 4, MaxSpeed: 5})
+		for i := 0; i < 10; i++ {
+			rp.Push(geo.Pt(float64(i), 0, float64(i)))
+		}
+		return rp.ExportState()
+	}
+	cases := []struct {
+		name string
+		mut  func(*RepairState)
+	}{
+		{"NaN max speed", func(st *RepairState) { st.Cfg.MaxSpeed = math.NaN() }},
+		{"pending over window", func(st *RepairState) { st.Cfg.Window = 2 }},
+		{"negative counter", func(st *RepairState) { st.Report.Late = -1 }},
+		{"unbalanced report", func(st *RepairState) { st.Report.Pushed += 3 }},
+		{"non-finite pending", func(st *RepairState) { st.Pending[0].P.X = math.Inf(1) }},
+		{"seq above counter", func(st *RepairState) { st.Pending[0].Seq = st.Seq + 1 }},
+		{"duplicate seq", func(st *RepairState) { st.Pending[1].Seq = st.Pending[2].Seq }},
+		{"heap violation", func(st *RepairState) { st.Pending[0].P.T = 1e9 }},
+		{"non-finite anchor", func(st *RepairState) { st.Last.T = math.NaN() }},
+		{"held behind anchor", func(st *RepairState) {
+			st.HasHeld = true
+			st.HeldN = 1
+			st.HeldFirst = st.Last
+			st.Report.Pushed++ // keep the balance so only the ordering check fires
+		}},
+		{"phantom held members", func(st *RepairState) { st.HeldN = 2 }},
+	}
+	for _, tc := range cases {
+		st := mk()
+		tc.mut(st)
+		if _, err := ResumeRepairer(st); err == nil {
+			t.Errorf("%s: corrupt state accepted", tc.name)
+		}
+	}
+	// And the unmutated state is accepted.
+	if _, err := ResumeRepairer(mk()); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+}
+
+func TestValidateDuplicateTime(t *testing.T) {
+	dup := Trajectory{geo.Pt(0, 0, 1), geo.Pt(1, 0, 1)}
+	err := dup.Validate()
+	if !errors.Is(err, ErrDuplicateTime) {
+		t.Fatalf("duplicate: err = %v, want ErrDuplicateTime", err)
+	}
+	if !errors.Is(err, ErrNotOrdered) {
+		t.Fatalf("ErrDuplicateTime must still match ErrNotOrdered, got %v", err)
+	}
+	back := Trajectory{geo.Pt(0, 0, 5), geo.Pt(1, 0, 1)}
+	err = back.Validate()
+	if errors.Is(err, ErrDuplicateTime) {
+		t.Fatalf("regression misclassified as duplicate: %v", err)
+	}
+	if !errors.Is(err, ErrNotOrdered) {
+		t.Fatalf("regression: err = %v, want ErrNotOrdered", err)
+	}
+}
+
+// FuzzRepair holds the repair stage total: never panics, and whatever
+// it emits always satisfies the strict FromPoints contract.
+func FuzzRepair(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1}, 4, 10.0, false)
+	f.Add([]byte{9, 9, 9, 9, 0, 0}, 0, 0.0, true)
+	f.Add([]byte{255, 1, 128, 7, 3, 3, 3}, -1, 1.0, false)
+	f.Fuzz(func(t *testing.T, data []byte, window int, maxSpeed float64, avg bool) {
+		if window > 1<<16 || window < -1<<16 {
+			return // keep the exported-state window check meaningful
+		}
+		r := rand.New(rand.NewSource(int64(len(data))))
+		raw := make([][3]float64, 0, len(data))
+		for _, b := range data {
+			var p [3]float64
+			switch b % 7 {
+			case 0:
+				p = [3]float64{math.NaN(), float64(b), float64(len(raw))}
+			case 1:
+				p = [3]float64{float64(b), math.Inf(1), math.Inf(-1)}
+			case 2: // duplicate or regressed timestamp
+				p = [3]float64{float64(b), 0, float64(len(raw) / 3)}
+			case 3: // teleport
+				p = [3]float64{1e300, -1e300, float64(len(raw))}
+			default:
+				p = [3]float64{r.NormFloat64(), r.NormFloat64(), float64(len(raw)) + r.NormFloat64()*3}
+			}
+			raw = append(raw, p)
+		}
+		got, rep, err := Repair(raw, RepairConfig{Window: window, MaxSpeed: maxSpeed, AverageDups: avg})
+		if err != nil {
+			if !errors.Is(err, ErrTooShort) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("repair emitted invalid output: %v", err)
+		}
+		if len(got) < 2 {
+			t.Fatalf("nil error with %d points", len(got))
+		}
+		if rep.Emitted+rep.Dropped() != rep.Pushed {
+			t.Fatalf("report does not balance: %+v", rep)
+		}
+	})
+}

@@ -22,6 +22,12 @@ var ErrTooShort = errors.New("traj: trajectory too short")
 // increasing.
 var ErrNotOrdered = errors.New("traj: timestamps not strictly increasing")
 
+// ErrDuplicateTime is the duplicate-timestamp case of ErrNotOrdered (it
+// wraps it, so errors.Is(err, ErrNotOrdered) still holds): two samples
+// claim the same instant, as re-sent fixes do, which ingest can classify
+// separately from genuinely regressed clocks.
+var ErrDuplicateTime = fmt.Errorf("%w: duplicate timestamp", ErrNotOrdered)
+
 // ErrNotFinite is returned by Validate when a point contains NaN or Inf.
 var ErrNotFinite = errors.New("traj: non-finite coordinate")
 
@@ -95,8 +101,12 @@ func (t Trajectory) Validate() error {
 			return fmt.Errorf("%w: point %d = %v", ErrNotFinite, i, p)
 		}
 		if i > 0 && p.T <= t[i-1].T {
+			base := ErrNotOrdered
+			if p.T == t[i-1].T {
+				base = ErrDuplicateTime
+			}
 			return fmt.Errorf("%w: point %d (t=%v) after point %d (t=%v)",
-				ErrNotOrdered, i, p.T, i-1, t[i-1].T)
+				base, i, p.T, i-1, t[i-1].T)
 		}
 	}
 	return nil

@@ -70,6 +70,19 @@ CHECK_SCALE="${CHECK_SCALE:-4}" go test -race -count=1 -run 'TestBoundedOnePass'
 go test -race -count=1 -run 'TestBounded|TestSearchBudget' ./internal/baseline/online ./internal/minsize
 go test -race -count=1 -run 'TestBounded|TestBudgetConflict' ./internal/server
 
+# Dirty-ingest pillar: repair output must always satisfy the strict
+# FromPoints contract (every corruption family x every profile x every
+# config), clean input must pass through bit-identically, and chunking /
+# export-resume cuts must be invisible — plus the repairer unit suite,
+# the hostile generator families, and the server-level wiring (one-shot,
+# batch, stream, spill-envelope v2 restart bit-identity, classified
+# reject codes). Same CHECK_SCALE knob deepens the sweeps.
+echo "== dirty-ingest repair pillar (CHECK_SCALE=${CHECK_SCALE:-4}) =="
+CHECK_SCALE="${CHECK_SCALE:-4}" go test -race -count=1 -run 'TestRepair' ./internal/check
+go test -race -count=1 -run 'TestRepair|TestResumeRepairer|TestValidateDuplicateTime|TestDownsampleDirtyTail|TestCleanFloorsMinPoints' ./internal/traj
+go test -race -count=1 -run 'TestDirty|TestFamilies|TestEveryFamilyRepairs|TestCorrupt|TestCompose|TestOutlierInStop|TestDupOfOutlier' ./internal/gen
+go test -race -count=1 -run 'TestSimplifyRepair|TestBatchRepair|TestStreamRepair|TestStreamRejectCodes|TestSpillEnvelopeV1|TestPointsErrorCode' ./internal/server
+
 # Crash-restart smoke with the real binary: boot with a spill dir, open a
 # session and push half a stream, SIGTERM (the drain path spills it),
 # restart against the same directory, push the rest and make sure the
@@ -167,6 +180,7 @@ echo "== fuzz smoke ($FUZZTIME per target) =="
 go test ./internal/traj -run '^$' -fuzz '^FuzzReadCSV$' -fuzztime "$FUZZTIME"
 go test ./internal/traj -run '^$' -fuzz '^FuzzReadPLT$' -fuzztime "$FUZZTIME"
 go test ./internal/traj -run '^$' -fuzz '^FuzzFromPoints$' -fuzztime "$FUZZTIME"
+go test ./internal/traj -run '^$' -fuzz '^FuzzRepair$' -fuzztime "$FUZZTIME"
 go test ./internal/server -run '^$' -fuzz '^FuzzSimplifyHandler$' -fuzztime "$FUZZTIME"
 go test ./internal/server -run '^$' -fuzz '^FuzzStatsHandler$' -fuzztime "$FUZZTIME"
 go test ./internal/server -run '^$' -fuzz '^FuzzSessionDecode$' -fuzztime "$FUZZTIME"
